@@ -1,0 +1,22 @@
+# Convenience targets for the NVMalloc reproduction.
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf src/*.egg-info .pytest_cache .hypothesis

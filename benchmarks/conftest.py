@@ -1,0 +1,34 @@
+"""Benchmark harness helpers.
+
+Each benchmark reproduces one table or figure of the paper's evaluation:
+it runs the corresponding experiment driver at the calibrated SMALL scale,
+prints the same rows the paper reports (plus paper-vs-measured claims),
+and asserts that the result is end-to-end verified and that the paper's
+qualitative shape holds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_report(benchmark, driver, *args, **kwargs):
+    """Time one driver invocation and print its rendered report."""
+    result = benchmark.pedantic(
+        lambda: driver(*args, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def report_runner(benchmark):
+    def runner(driver, *args, **kwargs):
+        return run_report(benchmark, driver, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,73 @@
+"""Ablation: store chunk size.
+
+The paper fixes chunks at 256 KB "to minimize the number of network
+requests".  Smaller chunks pay more per-request overhead on sequential
+streams; larger chunks amplify read-modify-write traffic for sparse
+writes.  Both effects are measured here.
+"""
+
+from repro.experiments import SMALL, Testbed
+from repro.util.tables import render_table
+from repro.util.units import KiB
+from repro.workloads import (
+    MatmulConfig,
+    RandWriteConfig,
+    run_matmul,
+    run_randwrite,
+)
+
+
+def mm_compute(chunk_size: int) -> float:
+    testbed = Testbed(SMALL)
+    job = testbed.job(
+        8, 8, 8, chunk_size=chunk_size,
+        fuse_cache_bytes=max(SMALL.fuse_cache, 4 * chunk_size),
+    )
+    result = run_matmul(
+        job, testbed.pfs,
+        MatmulConfig(n=SMALL.matrix_n, tile=SMALL.matrix_tile,
+                     b_placement="nvm"),
+    )
+    assert result.verified
+    return result.compute_time
+
+
+def randwrite_ssd_bytes(chunk_size: int) -> float:
+    testbed = Testbed(SMALL)
+    job = testbed.job(
+        1, 1, 1, chunk_size=chunk_size, dirty_page_writeback=False,
+        fuse_cache_bytes=max(SMALL.fuse_cache, 4 * chunk_size),
+    )
+    result = run_randwrite(
+        job,
+        RandWriteConfig(
+            region_bytes=SMALL.randwrite_region,
+            num_writes=SMALL.randwrite_count // 8,
+        ),
+    )
+    assert result.verified
+    return result.written_to_ssd
+
+
+def test_ablation_chunk_size(benchmark):
+    sizes = [64 * KiB, 256 * KiB, 1024 * KiB]
+
+    def sweep():
+        return {
+            size: (mm_compute(size), randwrite_ssd_bytes(size))
+            for size in sizes
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["Chunk", "MM compute (s)", "Unopt. rand-write SSD bytes"],
+        [
+            [f"{size // KiB} KiB", results[size][0], results[size][1]]
+            for size in sizes
+        ],
+        title="Ablation: chunk size",
+    ))
+    # Sparse random writes without the dirty-page optimization suffer
+    # proportionally to chunk size.
+    assert results[1024 * KiB][1] > 2 * results[64 * KiB][1]

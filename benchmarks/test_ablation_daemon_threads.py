@@ -1,0 +1,55 @@
+"""Ablation: FUSE daemon concurrency.
+
+Our model serializes a node's store requests through a single FUSE daemon
+thread (matching the paper-era prototype and required to reproduce the
+Fig. 2 local-vs-remote gap).  This ablation shows what a multithreaded
+daemon would buy: concurrent ranks' chunk fetches pipeline into the
+fabric and devices.
+"""
+
+from repro.experiments import SMALL, Testbed
+from repro.util.tables import render_table
+from repro.workloads import StreamConfig, StreamKernel, run_stream
+
+
+def stream_bw(daemon_threads: int, remote: bool) -> float:
+    scale = SMALL.with_(
+        dram_per_node=SMALL.stream_elements * 8 * 4, cpu_slowdown=1.0
+    )
+    testbed = Testbed(scale)
+    job = testbed.job(8, 1, 1, remote_ssd=remote, daemon_threads=daemon_threads)
+    result = run_stream(
+        job,
+        StreamConfig(
+            elements=scale.stream_elements,
+            kernel=StreamKernel.TRIAD,
+            iterations=scale.stream_iterations,
+            placement={"A": "dram", "B": "nvm", "C": "dram"},
+            block_bytes=scale.stream_block,
+        ),
+    )
+    assert result.verified
+    return result.bandwidth
+
+
+def test_ablation_daemon_threads(benchmark):
+    grid = [(threads, remote) for threads in (1, 4) for remote in (False, True)]
+
+    def sweep():
+        return {key: stream_bw(*key) for key in grid}
+
+    bw = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["Daemon threads", "Benefactor", "TRIAD bandwidth (MB/s)"],
+        [
+            [threads, "remote" if remote else "local", bw[(threads, remote)] / 1e6]
+            for threads, remote in grid
+        ],
+        title="Ablation: FUSE daemon concurrency (B on NVM)",
+    ))
+    # Multithreading helps most where latency serializes: the remote case.
+    assert bw[(4, True)] > bw[(1, True)]
+    remote_gain = bw[(4, True)] / bw[(1, True)]
+    local_gain = bw[(4, False)] / bw[(1, False)]
+    assert remote_gain >= local_gain * 0.9

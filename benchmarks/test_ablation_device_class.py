@@ -1,0 +1,85 @@
+"""Ablation: NVM device class (Table I's three SSDs).
+
+The paper argues PCIe flash narrows the DRAM gap ("interfaces such as
+PCIe offer much lower latency") but costs far more per GB.  This ablation
+re-runs the Fig. 2-style STREAM TRIAD comparison with each Table I device
+as the node-local SSD and reports the DRAM/NVM bandwidth ratio alongside
+the $/GB the paper's cost discussion hinges on.
+"""
+
+from repro.cluster.hal import HalConfig
+from repro.devices.specs import FUSIONIO_IODRIVE_DUO, INTEL_X25E, OCZ_REVODRIVE
+from repro.experiments import SMALL
+
+from repro.util.tables import render_table
+from repro.util.units import GB
+from repro.workloads import StreamConfig, StreamKernel, run_stream
+
+DEVICES = [INTEL_X25E, OCZ_REVODRIVE, FUSIONIO_IODRIVE_DUO]
+
+
+def stream_slowdown(spec) -> float:
+    """DRAM/NVM STREAM TRIAD ratio with this device as the local SSD."""
+    scale = SMALL.with_(
+        dram_per_node=SMALL.stream_elements * 8 * 4, cpu_slowdown=1.0
+    )
+
+    def one(placement):
+        # A HAL testbed with this device as the node-local SSD.
+        from repro.cluster.hal import make_hal_cluster
+        from repro.parallel.job import Job, JobConfig
+        from repro.sim.engine import Engine
+
+        engine = Engine()
+        config = HalConfig(
+            dram_per_node=scale.dram_per_node,
+            ssd_spec=spec,
+            ssd_per_node=scale.ssd_per_node,
+            cpu_spec=scale.cpu_spec(),
+        )
+        cluster = make_hal_cluster(engine, config)
+        job = Job(cluster, JobConfig(
+            8, 1, 1,
+            fuse_cache_bytes=scale.fuse_cache,
+            page_cache_bytes=scale.page_cache,
+            benefactor_contribution=scale.benefactor_contribution,
+        ))
+        result = run_stream(job, StreamConfig(
+            elements=scale.stream_elements,
+            kernel=StreamKernel.TRIAD,
+            iterations=scale.stream_iterations,
+            placement=placement,
+            block_bytes=scale.stream_block,
+        ))
+        assert result.verified
+        return result.bandwidth
+
+    dram = one({"A": "dram", "B": "dram", "C": "dram"})
+    nvm = one({"A": "dram", "B": "nvm", "C": "dram"})
+    return dram / nvm
+
+
+def test_ablation_device_class(benchmark):
+    def sweep():
+        return {spec.name: stream_slowdown(spec) for spec in DEVICES}
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["Device", "Interface", "$/GB", "DRAM/NVM STREAM ratio"],
+        [
+            [
+                spec.name, spec.interface,
+                spec.cost_usd / (spec.capacity / GB),
+                ratios[spec.name],
+            ]
+            for spec in DEVICES
+        ],
+        title="Ablation: benefactor device class (STREAM TRIAD, B on local NVM)",
+    ))
+    # Faster devices narrow the gap, in Table I order.
+    assert ratios[INTEL_X25E.name] > ratios[OCZ_REVODRIVE.name]
+    assert ratios[OCZ_REVODRIVE.name] > ratios[FUSIONIO_IODRIVE_DUO.name]
+    # But even the ioDrive stays well below DRAM (the paper's point that
+    # NVM extends rather than replaces memory).
+    assert ratios[FUSIONIO_IODRIVE_DUO.name] > 5

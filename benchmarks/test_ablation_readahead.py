@@ -1,0 +1,53 @@
+"""Ablation: FUSE-level next-chunk read-ahead for sequential streams.
+
+The paper's read path fetches whole 256 KB chunks, which already acts as
+read-ahead relative to 4 KB faults; this ablation adds explicit async
+next-chunk prefetch on top.  Finding: prefetch pays off exactly when the
+device is latency-bound (a single reader overlaps fetch with consume,
++~60%); with 8 concurrent readers saturating the single-threaded FUSE
+daemon, prefetches only queue ahead of demand fetches and *hurt* — which
+is presumably why the paper relies on chunk-granular fetches alone.
+"""
+
+from repro.experiments import SMALL, Testbed
+from repro.util.tables import render_table
+from repro.workloads import StreamConfig, StreamKernel, run_stream
+
+
+def stream_bw(readahead_chunks: int, threads: int) -> float:
+    scale = SMALL.with_(
+        dram_per_node=SMALL.stream_elements * 8 * 4, cpu_slowdown=1.0
+    )
+    testbed = Testbed(scale)
+    job = testbed.job(threads, 1, 1, readahead_chunks=readahead_chunks)
+    result = run_stream(
+        job,
+        StreamConfig(
+            elements=scale.stream_elements // 2,
+            kernel=StreamKernel.SCALE,  # read-dominated: B = k*C, C on NVM
+            iterations=2,
+            placement={"A": "dram", "B": "dram", "C": "nvm"},
+            block_bytes=scale.stream_block,
+        ),
+    )
+    assert result.verified
+    return result.bandwidth
+
+
+def test_ablation_readahead(benchmark):
+    grid = [(d, threads) for d in (0, 1, 2) for threads in (1, 8)]
+
+    def sweep():
+        return {key: stream_bw(*key) for key in grid}
+
+    bw = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["Read-ahead chunks", "Threads", "SCALE bandwidth (MB/s)"],
+        [[d, threads, bw[(d, threads)] / 1e6] for d, threads in grid],
+        title="Ablation: async FUSE read-ahead depth (sequential read)",
+    ))
+    # Latency-bound single reader: prefetch overlaps and wins.
+    assert bw[(1, 1)] > bw[(0, 1)] * 1.2
+    # Saturated daemon: prefetch does not help.
+    assert bw[(1, 8)] <= bw[(0, 8)] * 1.05

@@ -1,0 +1,70 @@
+"""Ablation: chunk striping policy (round-robin vs local-first).
+
+The paper stripes across benefactors to share load; local-first placement
+avoids the network entirely when the local benefactor has room, at the
+cost of concentrating device traffic.  A single-node allocation pattern
+shows the trade-off.
+"""
+
+import numpy as np
+
+from repro.experiments import SMALL, Testbed
+from repro.store import LocalFirstStriping, RoundRobinStriping
+from repro.util.tables import render_table
+from repro.util.units import MiB
+
+
+def run_policy(policy_cls) -> tuple[float, float]:
+    """One client streaming through a private NVM array.
+
+    Returns (elapsed virtual seconds, network bytes).
+    """
+    testbed = Testbed(SMALL.with_(cpu_slowdown=1.0))
+    job = testbed.job(1, 4, 4)
+    assert job.manager is not None
+    job.manager.striping = policy_cls()
+    ctx = job.rank_context(0)
+
+    def app():
+        assert ctx.nvmalloc is not None
+        arr = yield from ctx.nvmalloc.ssdmalloc_array(
+            (1 << 20,), np.float64, owner="ablate"
+        )
+        block = 1 << 15
+        start = ctx.engine.now
+        for s in range(0, 1 << 20, block):
+            yield from arr.write_slice(
+                s, np.arange(s, s + block, dtype=np.float64)
+            )
+        yield from arr.variable.region.msync()
+        yield from ctx.nvmalloc.mount.cache.flush_all()
+        for s in range(0, 1 << 20, block):
+            got = yield from arr.read_slice(s, s + block)
+            assert got[0] == s
+        elapsed = ctx.engine.now - start
+        yield from ctx.nvmalloc.ssdfree(arr.variable)
+        return elapsed
+
+    elapsed = job.engine.run(job.engine.process(app()))
+    return elapsed, testbed.cluster.metrics.value("network.bytes")
+
+
+def test_ablation_striping(benchmark):
+    def sweep():
+        return {
+            "round-robin": run_policy(RoundRobinStriping),
+            "local-first": run_policy(LocalFirstStriping),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["Policy", "Stream time (s)", "Network MiB"],
+        [
+            [name, elapsed, nbytes / MiB]
+            for name, (elapsed, nbytes) in results.items()
+        ],
+        title="Ablation: striping policy (8 MiB stream, 1 client, 4 benefactors)",
+    ))
+    # Local-first keeps (almost) everything off the network.
+    assert results["local-first"][1] < results["round-robin"][1] / 2

@@ -1,0 +1,27 @@
+"""Provisioning-cost analysis (the paper's §I / Fig. 3 closing argument).
+
+"By adding one $300 SSD drive to every 8 compute nodes and using
+mechanisms like NVMalloc, we can bring about a 32.47% performance
+improvement while running on half the nodes ... future machines can
+reduce the total provisioning cost by purchasing a combination of DRAM
+and NVM and use them in concert."
+"""
+
+from repro.experiments import SMALL, cost_analysis
+
+
+def test_cost_analysis(report_runner):
+    report = report_runner(cost_analysis, SMALL)
+    assert report.verified
+
+    rows = {row[0]: row for row in report.rows}
+    dram = rows["DRAM(2:16:0)"]
+    cheap = rows["R-SSD(8:8:1)"]
+
+    # Comparable memory-subsystem dollars...
+    assert cheap[3] < dram[3] * 1.15
+    # ...far fewer node-seconds of allocation...
+    assert cheap[5] < dram[5] * 0.6
+    # ...and the best cost-delay product of the whole grid.
+    best = min(row[6] for row in report.rows)
+    assert cheap[6] == best

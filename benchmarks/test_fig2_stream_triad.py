@@ -1,0 +1,31 @@
+"""Figure 2: STREAM TRIAD normalized bandwidth by array placement.
+
+Paper: NVMalloc STREAM falls behind DRAM by ~62x (local SSD) and ~115x
+(remote SSD) — the deliberate worst case, streaming with zero reuse.
+"""
+
+from repro.experiments import SMALL, fig2
+
+
+def test_fig2_stream_triad(report_runner):
+    report = report_runner(fig2, SMALL)
+    assert report.verified
+
+    rows = {row[0]: (row[1], row[2]) for row in report.rows}
+    assert rows["None"] == (100.0, 100.0)
+    for label, (local, remote) in rows.items():
+        if label == "None":
+            continue
+        # Every NVM placement is dramatically slower than DRAM...
+        assert local < 5.0, f"{label}: local {local} not <5% of DRAM"
+        assert remote < 5.0
+        # ...and remote is never faster than local.
+        assert remote <= local * 1.05
+
+    # Single-array slowdowns land in the paper's decade: tens-of-x local,
+    # roughly 2x worse remote.
+    local_ratios = [100.0 / rows[k][0] for k in ("A", "B", "C")]
+    remote_ratios = [100.0 / rows[k][1] for k in ("A", "B", "C")]
+    assert 30 < sum(local_ratios) / 3 < 130  # paper: 62
+    assert 60 < sum(remote_ratios) / 3 < 230  # paper: 115
+    assert sum(remote_ratios) > sum(local_ratios)

@@ -1,0 +1,41 @@
+"""Figure 3: MM runtime with the five-stage breakdown across configs.
+
+Paper headlines: L-SSD(8:16:16) beats DRAM(2:16:0) by 53.75% (NVMalloc
+lets all 8 cores/node work); L-SSD(2:16:16) costs only 2.19% over DRAM;
+remote SSDs add 1.42% over local; one SSD per 8 nodes — R-SSD(8:8:1) —
+still beats DRAM-only by 32.47% on half the nodes.
+"""
+
+from repro.experiments import SMALL, fig3
+
+
+def test_fig3_mm_runtime(report_runner):
+    report = report_runner(fig3, SMALL)
+    assert report.verified
+
+    totals = {row[0]: row[6] for row in report.rows}
+    compute = {row[0]: row[4] for row in report.rows}
+    dram = totals["DRAM(2:16:0)"]
+
+    # 8 procs/node on NVM beat the 2-proc DRAM baseline substantially
+    # (paper: 53.75%).
+    improvement = 1 - totals["L-SSD(8:16:16)"] / dram
+    assert 0.30 < improvement < 0.70
+
+    # Same process count: NVM only slightly worse than DRAM (paper 2.19%).
+    overhead = totals["L-SSD(2:16:16)"] / dram - 1
+    assert overhead < 0.25
+    # ... and its *compute* stage matches DRAM's closely: SSD latency is
+    # hidden by the cache hierarchy.
+    assert compute["L-SSD(2:16:16)"] < compute["DRAM(2:16:0)"] * 1.15
+
+    # Remote vs local: tiny overhead (paper 1.42%).
+    assert totals["R-SSD(8:8:8)"] / totals["L-SSD(8:8:8)"] - 1 < 0.05
+
+    # Fewer benefactors only swell the broadcast stage, visibly at 8:8:1.
+    bcast = {row[0]: row[3] for row in report.rows}
+    assert bcast["R-SSD(8:8:1)"] > bcast["R-SSD(8:8:8)"] * 1.2
+
+    # One $300 SSD per 8 nodes still beats DRAM-only on half the nodes
+    # (paper: 32.47%).
+    assert totals["R-SSD(8:8:1)"] < dram * 0.85

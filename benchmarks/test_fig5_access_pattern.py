@@ -1,0 +1,28 @@
+"""Figure 5: MM compute time, row-major vs column-major access to B.
+
+Paper: column-major is much slower, degrades further as SSD resources
+shrink (L -> R, fewer benefactors), while row-major stays stable; the
+row/column gap is far larger with NVMalloc than with DRAM — sub-optimal
+access patterns break the latency-hiding of the DRAM caches.
+"""
+
+from repro.experiments import SMALL, fig5
+
+
+def test_fig5_access_pattern(report_runner):
+    report = report_runner(fig5, SMALL)
+    assert report.verified
+
+    ratio = {row[0]: row[3] for row in report.rows}
+    row_time = {row[0]: row[1] for row in report.rows}
+    col_time = {row[0]: row[2] for row in report.rows}
+
+    # DRAM barely cares about access order; NVM configs all pay.
+    assert ratio["DRAM(2:16:0)"] < 1.05
+    nvm_labels = [k for k in ratio if not k.startswith("DRAM")]
+    assert all(ratio[k] > 1.1 for k in nvm_labels)
+    assert max(ratio[k] for k in nvm_labels) > 1.4
+
+    # Row-major is stable as benefactors shrink; column-major degrades.
+    assert row_time["R-SSD(8:8:1)"] < row_time["R-SSD(8:8:8)"] * 1.10
+    assert col_time["R-SSD(8:8:1)"] > col_time["R-SSD(8:8:8)"] * 1.15

@@ -1,0 +1,11 @@
+"""Table I: device characteristics the models are seeded from."""
+
+from repro.experiments import table1
+
+
+def test_table1_device_catalog(report_runner):
+    report = report_runner(table1)
+    assert report.verified
+    assert len(report.rows) == 5
+    # The paper's headline ratio: DRAM >= 8.53x the fastest PCIe flash.
+    assert "8.53x" in report.measured_claims[0]

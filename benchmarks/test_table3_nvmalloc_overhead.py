@@ -1,0 +1,20 @@
+"""Table III: STREAM with vs without NVMalloc on the local SSD.
+
+Paper: NVMalloc itself adds no overhead — its FUSE-level chunk caching
+makes it *faster* than raw local-SSD access (COPY 78.17 vs 64.24 MB/s).
+Our model reproduces the win for write-dominated kernels (dirty-page
+batching: COPY and ADD write array C); for read-dominated kernels the
+single-threaded FUSE daemon costs more than read-ahead recovers — a
+divergence documented in EXPERIMENTS.md.
+"""
+
+from repro.experiments import SMALL, table3
+
+
+def test_table3_with_vs_without_nvmalloc(report_runner):
+    report = report_runner(table3, SMALL)
+    assert report.verified
+    gains = {row[0]: row[3] for row in report.rows}
+    # Write-dominated kernels (C is the destination): NVMalloc wins.
+    assert gains["COPY"] > 0
+    assert gains["ADD"] > 0

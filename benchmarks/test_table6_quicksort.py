@@ -1,0 +1,29 @@
+"""Table VI: parallel sort of a dataset 1.56x the DRAM sort budget.
+
+Paper: the DRAM-only run cannot load the data at once and needs two
+passes with interim runs exchanged through the PFS — ~10x slower than
+NVMalloc's one-pass hybrid on L-SSD(8:16:16); R-SSD(8:8:8) is slower
+than L-SSD (half the nodes, double the per-node load) but still far
+ahead of DRAM-only.
+"""
+
+from repro.experiments import SMALL, table6
+
+
+def test_table6_quicksort(report_runner):
+    report = report_runner(table6, SMALL)
+    assert report.verified
+
+    times = {row[0]: row[2] for row in report.rows}
+    passes = {row[0]: row[3] for row in report.rows}
+
+    assert passes["DRAM(8:16:0)"] == 2
+    assert passes["L-SSD(8:16:16)"] == 1
+
+    # Hybrid wins decisively (paper: ~10x; our PFS:SSD bandwidth gap at
+    # simulation scale yields a smaller but unambiguous factor).
+    speedup = times["DRAM(8:16:0)"] / times["L-SSD(8:16:16)"]
+    assert speedup > 1.8
+
+    # R-SSD: half the nodes, double the load — never faster than L-SSD.
+    assert times["R-SSD(8:8:8)"] >= times["L-SSD(8:16:16)"] * 0.98

@@ -1,0 +1,25 @@
+"""Table VII: the dirty-page write optimization under random byte writes.
+
+Paper: for 128 K random byte writes into a 2 GB NVM region, flushing only
+dirty 4 KB pages sends 504 MB to the SSDs; flushing whole 256 KB chunks
+sends 19.3 GB — a ~38x difference (and 64x less device wear per byte).
+"""
+
+from repro.experiments import SMALL, table7
+
+
+def test_table7_write_optimization(report_runner):
+    report = report_runner(table7, SMALL)
+    assert report.verified
+
+    rows = {row[0]: row for row in report.rows}
+    with_opt = rows["w/ Optimization"]
+    without = rows["w/o Optimization"]
+
+    # Identical traffic into FUSE...
+    assert with_opt[1] == without[1]
+    # ...but whole-chunk mode multiplies SSD traffic by ~chunk/page
+    # (sparse dirty pages: one dirty page per evicted chunk -> up to 64x;
+    # paper measured 38x at its dirty density).
+    ratio = without[2] / with_opt[2]
+    assert 20 < ratio <= 70

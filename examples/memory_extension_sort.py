@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Sorting beyond physical memory: the paper's Table VI scenario.
+
+The dataset is ~1.56x the aggregate DRAM budget.  Without NVMalloc the
+cluster must sort in two passes, exchanging interim sorted runs through
+the slow parallel file system; with NVMalloc the overflow lives on the
+aggregate SSD store and one pass suffices.
+
+Also demonstrates the placement policy helper deciding where the sort
+buffers should live.
+
+Run:  python examples/memory_extension_sort.py
+"""
+
+from repro.core import PlacementPolicy
+from repro.core.policy import VariableProfile
+from repro.experiments import SMALL, Testbed
+from repro.util import format_size, format_time
+from repro.workloads import SortConfig, run_quicksort
+
+
+def main() -> None:
+    scale = SMALL.with_(cpu_slowdown=1.0)
+    data_bytes = scale.sort_elements * 8
+    budget_bytes = scale.sort_dram_per_rank * 8 * 128
+    print(
+        f"dataset: {format_size(data_bytes)} of float64 keys; "
+        f"DRAM sort budget: {format_size(budget_bytes)} "
+        f"(oversubscribed {data_bytes / budget_bytes:.2f}x)"
+    )
+
+    # The placement policy reaches the same conclusion the paper argues
+    # for: spill the sequentially-scanned bulk to NVM, keep the working
+    # set in DRAM.
+    policy = PlacementPolicy(dram_budget=budget_bytes)
+    decisions = policy.place(
+        [
+            VariableProfile(
+                "keys-bulk", data_bytes, reads_per_byte=3,
+                writes_per_byte=1, sequential=True,
+            ),
+            VariableProfile(
+                "merge-window", budget_bytes // 2, reads_per_byte=50,
+                writes_per_byte=50, sequential=False,
+            ),
+        ]
+    )
+    for name, where in decisions.items():
+        print(f"  placement policy: {name:14s} -> {where.value}")
+
+    print(f"\n{'config':18s} {'mode':12s} {'time':>10s}  passes  verified")
+    rows = []
+    for label, mode, (x, y, z, remote) in [
+        ("DRAM-only", "dram-2pass", (8, 16, 0, False)),
+        ("NVMalloc local", "hybrid", (8, 16, 16, False)),
+        ("NVMalloc remote", "hybrid", (8, 8, 8, True)),
+    ]:
+        testbed = Testbed(scale)
+        job = testbed.job(x, y, z, remote_ssd=remote)
+        result = run_quicksort(
+            job,
+            testbed.pfs,
+            SortConfig(
+                total_elements=scale.sort_elements,
+                mode=mode,
+                dram_elements_per_rank=scale.sort_dram_per_rank,
+            ),
+        )
+        rows.append(result)
+        print(
+            f"{result.job_label:18s} {mode:12s} "
+            f"{format_time(result.elapsed):>10s}  {result.passes:6d}  "
+            f"{result.verified}"
+        )
+
+    speedup = rows[0].elapsed / rows[1].elapsed
+    print(
+        f"\none NVMalloc pass beats the 2-pass DRAM+PFS fallback by "
+        f"{speedup:.1f}x (paper: ~10x at 200 GB scale)"
+    )
+
+
+if __name__ == "__main__":
+    main()

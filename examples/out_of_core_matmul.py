@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Out-of-core matrix multiplication: the paper's Fig. 3 scenario.
+
+Runs the five-stage MPI dense matrix multiplication on three
+configurations of a simulated 16-node cluster:
+
+- ``DRAM(2:16:0)``   — DRAM-only: matrix B is replicated per process, so
+  only 2 of the 8 cores per node can be used;
+- ``L-SSD(8:16:16)`` — NVMalloc maps B to one shared NVM-store file per
+  node, freeing DRAM so all 8 cores work;
+- ``R-SSD(8:8:1)``   — a single remote SSD serves 8 compute nodes: the
+  paper's "add one $300 SSD per 8 nodes" cost argument.
+
+The product is computed with real bytes end-to-end and verified against
+``A @ B``.
+
+Run:  python examples/out_of_core_matmul.py
+"""
+
+from repro.cluster import hottest
+from repro.experiments import SMALL, Testbed
+from repro.util import format_time
+from repro.workloads import MatmulConfig, run_matmul
+
+
+def run_config(x: int, y: int, z: int, remote: bool = False):
+    testbed = Testbed(SMALL)
+    job = testbed.job(x, y, z, remote_ssd=remote)
+    config = MatmulConfig(
+        n=SMALL.matrix_n,
+        tile=SMALL.matrix_tile,
+        b_placement="nvm" if z else "dram",
+        shared_mmap=True,
+    )
+    result = run_matmul(job, testbed.pfs, config)
+    if z:
+        ssd = hottest(testbed.cluster, "ssd", window=testbed.engine.now)
+        result.hot_ssd = f"{ssd.component} @ {ssd.utilization:.0%}"  # type: ignore[attr-defined]
+    else:
+        result.hot_ssd = "-"  # type: ignore[attr-defined]
+    return result
+
+
+def main() -> None:
+    print(f"matrix: {SMALL.matrix_n}x{SMALL.matrix_n} float64 "
+          f"({SMALL.matrix_bytes >> 20} MiB each), tile {SMALL.matrix_tile}")
+    print(f"{'config':18s} {'total':>10s} {'compute':>10s}  verified  busiest SSD")
+    results = {}
+    for x, y, z, remote in [
+        (2, 16, 0, False),
+        (8, 16, 16, False),
+        (8, 8, 1, True),
+    ]:
+        result = run_config(x, y, z, remote)
+        results[result.job_label] = result
+        print(
+            f"{result.job_label:18s} {format_time(result.total):>10s} "
+            f"{format_time(result.compute_time):>10s}  {str(result.verified):8s}"
+            f"  {result.hot_ssd}"  # type: ignore[attr-defined]
+        )
+
+    dram = results["DRAM(2:16:0)"].total
+    nvm = results["L-SSD(8:16:16)"].total
+    cheap = results["R-SSD(8:8:1)"].total
+    print(
+        f"\nNVMalloc lets all 8 cores/node work: "
+        f"{100 * (1 - nvm / dram):.1f}% faster than DRAM-only "
+        "(paper: 53.75%)"
+    )
+    print(
+        f"one remote SSD per 8 nodes, half the nodes: "
+        f"{100 * (1 - cheap / dram):.1f}% faster than DRAM-only "
+        "(paper: 32.47%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

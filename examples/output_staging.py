@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Output staging through the aggregate NVM store (paper §II, §III-E).
+
+An iterative application emits an output burst every timestep.  Writing
+bursts straight to the parallel file system stalls compute for the full
+PFS write; staging them on the fast NVM store and draining to the PFS in
+the background hides the slow I/O behind the next compute phase — the
+store's original role as an "I/O impedance matching device".
+
+Run:  python examples/output_staging.py
+"""
+
+from repro.experiments import SMALL, Testbed
+from repro.util import KiB, MiB, format_size, format_time
+from repro.workloads import StagingConfig, run_staging
+
+
+def run_mode(mode: str):
+    testbed = Testbed(SMALL.with_(cpu_slowdown=1.0, dram_per_node=16 * MiB))
+    job = testbed.job(8, 8, 8 if mode == "staged" else 0)
+    config = StagingConfig(
+        burst_bytes=512 * KiB, timesteps=4, compute_seconds=0.8, mode=mode,
+    )
+    return run_staging(job, testbed.pfs, config)
+
+
+def main() -> None:
+    print("64 ranks, 4 timesteps, 512 KiB output burst per rank per step")
+    print(f"(total output: {format_size(64 * 4 * 512 * KiB)} to the PFS)\n")
+    results = {}
+    for mode in ("direct", "staged"):
+        results[mode] = run_mode(mode)
+        r = results[mode]
+        print(f"{mode:>7s}: app done in {format_time(r.elapsed)}, "
+              f"compute stalled on I/O for {format_time(r.compute_stall)}, "
+              f"output verified: {r.verified}")
+    direct, staged = results["direct"], results["staged"]
+    print(
+        f"\nstaging cut the I/O stall "
+        f"{direct.compute_stall / staged.compute_stall:.1f}x and finished "
+        f"{100 * (1 - staged.elapsed / direct.elapsed):.0f}% sooner, with "
+        "identical bytes durable on the PFS"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

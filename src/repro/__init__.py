@@ -1,0 +1,11 @@
+"""NVMalloc reproduction (IPDPS 2012).
+
+Exposes an aggregate SSD store — built from compute-node-local NVM devices
+contributed by benefactor processes — as an explicitly managed secondary
+memory partition, on a discrete-event simulated cluster substrate.
+
+Public entry point is :class:`repro.core.NVMalloc`; see README.md for a
+quickstart and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""Cluster substrate: CPU cores, nodes, and testbed factories."""
+
+from repro.cluster.cpu import Core, CPUSpec, HAL_CPU
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+from repro.cluster.hal import HAL_TESTBED, HalConfig, make_hal_cluster
+from repro.cluster.utilization import (
+    ComponentUtilization,
+    hottest,
+    utilization_report,
+)
+
+__all__ = [
+    "ComponentUtilization",
+    "hottest",
+    "utilization_report",
+    "Cluster",
+    "Core",
+    "CPUSpec",
+    "HAL_CPU",
+    "HAL_TESTBED",
+    "HalConfig",
+    "Node",
+    "make_hal_cluster",
+]

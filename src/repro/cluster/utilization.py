@@ -1,0 +1,73 @@
+"""Cluster utilization reporting.
+
+Every device channel, NIC port, and core is a FIFO resource that
+accounts its busy slot-seconds; this module folds those into the
+per-component utilization view an operator would pull from a real
+cluster's monitoring — useful for understanding *where* an experiment's
+time went (e.g. Fig. 3's broadcast growth shows up as benefactor-NIC RX
+saturation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ComponentUtilization:
+    """Busy fraction of one hardware component over a window."""
+
+    component: str  # e.g. "node003.ssd"
+    kind: str  # "core" | "dram" | "ssd" | "nic.tx" | "nic.rx"
+    busy_seconds: float
+    utilization: float  # busy slot-seconds / (window x slots)
+
+
+def utilization_report(
+    cluster: Cluster, *, window: float | None = None
+) -> list[ComponentUtilization]:
+    """Per-component utilization over ``window`` (default: virtual now).
+
+    Rows are ordered hottest-first within each kind.
+    """
+    elapsed = window if window is not None else cluster.engine.now
+    rows: list[ComponentUtilization] = []
+
+    def add(component: str, kind: str, busy: float, slots: int) -> None:
+        util = busy / (elapsed * slots) if elapsed > 0 else 0.0
+        rows.append(
+            ComponentUtilization(
+                component=component, kind=kind,
+                busy_seconds=busy, utilization=util,
+            )
+        )
+
+    for node in cluster.nodes:
+        core_busy = sum(core.busy_seconds() for core in node.cores)
+        add(f"{node.name}.cores", "core", core_busy, node.num_cores)
+        add(
+            f"{node.name}.dram", "dram",
+            node.dram.busy_seconds(), node.dram.spec.channels,
+        )
+        if node.ssd is not None:
+            add(
+                f"{node.name}.ssd", "ssd",
+                node.ssd.busy_seconds(), node.ssd.spec.channels,
+            )
+        add(f"{node.name}.nic.tx", "nic.tx", node.nic.tx.busy_seconds(), 1)
+        add(f"{node.name}.nic.rx", "nic.rx", node.nic.rx.busy_seconds(), 1)
+
+    rows.sort(key=lambda r: (r.kind, -r.utilization))
+    return rows
+
+
+def hottest(
+    cluster: Cluster, kind: str, *, window: float | None = None
+) -> ComponentUtilization:
+    """The busiest component of one kind (e.g. the bottleneck SSD)."""
+    rows = [r for r in utilization_report(cluster, window=window) if r.kind == kind]
+    if not rows:
+        raise ValueError(f"no components of kind {kind!r}")
+    return max(rows, key=lambda r: r.utilization)

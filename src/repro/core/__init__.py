@@ -1,0 +1,31 @@
+"""NVMalloc: the paper's primary contribution.
+
+A per-node library context through which application processes explicitly
+allocate (:meth:`~repro.core.nvmalloc.NVMalloc.ssdmalloc`), free
+(:meth:`~repro.core.nvmalloc.NVMalloc.ssdfree`) and checkpoint
+(:meth:`~repro.core.nvmalloc.NVMalloc.ssdcheckpoint`) memory regions backed
+by the distributed aggregate NVM store, accessed byte-addressably through
+the memory-mapped I/O interface.
+
+Typed array views (:class:`~repro.core.variable.NVMArray` /
+:class:`~repro.core.variable.DRAMArray`) give workloads a uniform numpy-
+style interface regardless of where a variable lives — the explicit
+placement control the paper argues for.
+"""
+
+from repro.core.nvmalloc import NVMalloc
+from repro.core.variable import Array, DRAMArray, NVMArray, NVMVariable
+from repro.core.checkpoint import CheckpointRecord, CheckpointSection
+from repro.core.policy import PlacementDecision, PlacementPolicy
+
+__all__ = [
+    "Array",
+    "CheckpointRecord",
+    "CheckpointSection",
+    "DRAMArray",
+    "NVMalloc",
+    "NVMArray",
+    "NVMVariable",
+    "PlacementDecision",
+    "PlacementPolicy",
+]

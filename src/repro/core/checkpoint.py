@@ -1,0 +1,57 @@
+"""Checkpoint records: the layout of ``chckptfile_t`` (paper §III-E).
+
+A checkpoint file holds the DRAM state as freshly written chunks followed
+by the *linked* chunks of each NVM-allocated variable — no variable data
+is copied at checkpoint time.  Each section starts on a chunk boundary
+(linking operates on whole chunks), so offsets are reconstructible from
+section lengths alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CheckpointSection:
+    """One section of a checkpoint file."""
+
+    name: str  # "__dram__" or the variable's label
+    offset: int  # chunk-aligned byte offset within the checkpoint file
+    length: int  # meaningful bytes (may be < the chunk-aligned span)
+    linked: bool  # True when chunks are shared with the live variable
+
+
+@dataclass
+class CheckpointRecord:
+    """Everything needed to restart from one checkpoint."""
+
+    tag: str
+    timestep: int
+    path: str  # checkpoint file on the aggregate store
+    sections: list[CheckpointSection] = field(default_factory=list)
+    # Accounting for the incremental-checkpoint claim: bytes physically
+    # written at checkpoint time vs bytes merely linked.
+    bytes_written: int = 0
+    bytes_linked: int = 0
+
+    def section(self, name: str) -> CheckpointSection:
+        """The section labelled ``name`` (raises CheckpointError when absent)."""
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        from repro.errors import CheckpointError
+
+        raise CheckpointError(
+            f"checkpoint {self.tag}@{self.timestep} has no section {name!r}"
+        )
+
+    @property
+    def dram_section(self) -> CheckpointSection:
+        """The DRAM-image section."""
+        return self.section("__dram__")
+
+    @property
+    def variable_sections(self) -> list[CheckpointSection]:
+        """All linked variable sections, in layout order."""
+        return [s for s in self.sections if s.name != "__dram__"]

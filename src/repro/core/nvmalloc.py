@@ -1,0 +1,483 @@
+"""The NVMalloc library context (paper §III).
+
+One :class:`NVMalloc` instance per compute node wires together the node's
+FUSE mount, the OS page-cache model, and the aggregate-store manager, and
+exposes the paper's service suite:
+
+- :meth:`ssdmalloc` / :meth:`ssdfree` — explicit allocation of memory
+  regions on the distributed NVM store, returned as byte-addressable
+  memory-mapped variables (optionally *shared* between processes of the
+  node, the Fig. 4 optimization);
+- :meth:`ssdmalloc_array` / :meth:`dram_array` — typed array views with a
+  uniform interface, so placement is an explicit one-line decision;
+- :meth:`ssdcheckpoint` / :meth:`restore` — one logical restart file per
+  timestep that *links* NVM-resident chunks instead of copying them, with
+  copy-on-write protection and automatic incremental checkpointing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Generator, Sequence
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.core.checkpoint import CheckpointRecord, CheckpointSection
+from repro.core.variable import DRAMArray, NVMArray, NVMVariable
+from repro.errors import (
+    AllocationError,
+    CheckpointError,
+    FileExistsInStoreError,
+    NVMallocError,
+)
+from repro.fusefs.flags import OpenFlags
+from repro.fusefs.mount import FuseMount
+from repro.mem.mmap import MmapRegion, Protection
+from repro.mem.pagecache import PageCache
+from repro.sim.events import Event
+from repro.store.chunk import CHUNK_SIZE, PAGE_SIZE
+from repro.store.manager import Manager
+from repro.util.recorder import MetricsRecorder
+from repro.util.units import MiB
+
+MOUNT_POINT = "/mnt/aggregatenvm"
+
+
+class NVMalloc:
+    """Per-node NVMalloc library context."""
+
+    def __init__(
+        self,
+        node: Node,
+        manager: Manager,
+        *,
+        fuse_cache_bytes: int = 64 * MiB,
+        page_cache_bytes: int = 64 * MiB,
+        chunk_size: int = CHUNK_SIZE,
+        page_size: int = PAGE_SIZE,
+        dirty_page_writeback: bool = True,
+        readahead_chunks: int = 0,
+        daemon_threads: int = 1,
+        fuse_op_overhead: float = PageCache.FUSE_OP_OVERHEAD,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        self.node = node
+        self.engine = node.engine
+        self.manager = manager
+        self.metrics = metrics if metrics is not None else node.metrics
+        self.mount = FuseMount(
+            node,
+            manager,
+            cache_bytes=fuse_cache_bytes,
+            chunk_size=chunk_size,
+            page_size=page_size,
+            dirty_page_writeback=dirty_page_writeback,
+            readahead_chunks=readahead_chunks,
+            daemon_threads=daemon_threads,
+            metrics=self.metrics,
+        )
+        self.pagecache = PageCache(
+            self.mount,
+            capacity_bytes=page_cache_bytes,
+            page_size=page_size,
+            fuse_op_overhead=fuse_op_overhead,
+            metrics=self.metrics,
+        )
+        self.chunk_size = chunk_size
+        self._seq = itertools.count(1)
+        # backing path -> number of live mappings (shared allocations).
+        self._mapping_refs: dict[str, int] = {}
+        # Paths whose lifetime outlives their mappings (§III-C sharing).
+        self._persistent_paths: set[str] = set()
+        self._checkpoints: dict[tuple[str, int], CheckpointRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _backing_path(
+        self, shared_key: str | None, owner: str, persistent_name: str | None
+    ) -> str:
+        if persistent_name is not None:
+            return f"{MOUNT_POINT}/persistent/{persistent_name}"
+        if shared_key is not None:
+            return f"{MOUNT_POINT}/nvmalloc/shared/{shared_key}"
+        return f"{MOUNT_POINT}/nvmalloc/{self.node.name}/{owner}/{next(self._seq)}"
+
+    def ssdmalloc(
+        self,
+        nbytes: int,
+        *,
+        owner: str = "app",
+        shared_key: str | None = None,
+        private: bool = False,
+        persistent_name: str | None = None,
+    ) -> Generator[Event, object, NVMVariable]:
+        """Allocate ``nbytes`` from the aggregate NVM store.
+
+        Creates (or, for an existing ``shared_key``, opens) an internal
+        file on the store and memory-maps it, returning the mapped
+        variable; the client never sees the file name.  ``shared_key``
+        lets multiple processes map one backing file — the read-only
+        matrix-B optimization of Fig. 4.  ``private=True`` gives
+        ``MAP_PRIVATE`` (copy-on-write, never checkpointable) semantics.
+
+        ``persistent_name`` gives the variable a *lifetime beyond the
+        run* (paper §III-C's workflow/in-situ sharing idea): the backing
+        file survives ``ssdfree`` and can be re-opened — from any node —
+        with :meth:`open_persistent`, or dropped with
+        :meth:`unlink_persistent`.
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"ssdmalloc of {nbytes} bytes")
+        if persistent_name is not None and shared_key is not None:
+            raise AllocationError(
+                "persistent_name and shared_key are mutually exclusive"
+            )
+        path = self._backing_path(shared_key, owner, persistent_name)
+        existing = self.manager.exists(path)
+        if existing:
+            if shared_key is None and persistent_name is None:
+                raise AllocationError(f"internal name collision on {path!r}")
+            if persistent_name is not None:
+                raise AllocationError(
+                    f"persistent variable {persistent_name!r} already exists; "
+                    "use open_persistent() to map it"
+                )
+            if self.manager.lookup(path).size < nbytes:
+                raise AllocationError(
+                    f"shared allocation {shared_key!r} exists with smaller size"
+                )
+            fd = yield from self.mount.open(path, OpenFlags.O_RDWR)
+        else:
+            try:
+                fd = yield from self.mount.open(
+                    path, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=nbytes
+                )
+            except FileExistsInStoreError:
+                # Another process on this node raced us to create the
+                # shared mapping between our existence check and the
+                # create RPC; fall back to opening it.
+                if shared_key is None:
+                    raise
+                fd = yield from self.mount.open(path, OpenFlags.O_RDWR)
+            else:
+                # The paper intimates the buffer size to the store with
+                # posix_fallocate(); creation reserved it, this validates.
+                yield from self.mount.fallocate(fd, nbytes)
+        region = MmapRegion(
+            self.pagecache,
+            path,
+            nbytes,
+            prot=Protection.PROT_READ | Protection.PROT_WRITE,
+            shared=not private,
+        )
+        self._mapping_refs[path] = self._mapping_refs.get(path, 0) + 1
+        if persistent_name is not None:
+            self._persistent_paths.add(path)
+        yield from self.mount.close(fd)
+        self.metrics.add("nvmalloc.ssdmalloc.bytes", nbytes)
+        self.metrics.add("nvmalloc.ssdmalloc.calls")
+        return NVMVariable(region, owner=owner, backing_path=path)
+
+    def open_persistent(
+        self, persistent_name: str, *, owner: str = "app"
+    ) -> Generator[Event, object, NVMVariable]:
+        """Map an existing persistent variable (possibly created by a
+        previous job or on another node) into this process."""
+        path = f"{MOUNT_POINT}/persistent/{persistent_name}"
+        if not self.manager.exists(path):
+            raise AllocationError(
+                f"no persistent variable {persistent_name!r} on the store"
+            )
+        fd = yield from self.mount.open(path, OpenFlags.O_RDWR)
+        nbytes = self.mount.stat_size(path)
+        region = MmapRegion(
+            self.pagecache,
+            path,
+            nbytes,
+            prot=Protection.PROT_READ | Protection.PROT_WRITE,
+            shared=True,
+        )
+        self._mapping_refs[path] = self._mapping_refs.get(path, 0) + 1
+        self._persistent_paths.add(path)
+        yield from self.mount.close(fd)
+        return NVMVariable(region, owner=owner, backing_path=path)
+
+    def unlink_persistent(self, persistent_name: str) -> Generator[Event, object, None]:
+        """Remove a persistent variable's backing file from the store.
+
+        Fails while mappings created through this context are live.
+        """
+        path = f"{MOUNT_POINT}/persistent/{persistent_name}"
+        if self._mapping_refs.get(path):
+            raise NVMallocError(
+                f"persistent variable {persistent_name!r} still mapped"
+            )
+        self._persistent_paths.discard(path)
+        self.mount.cache.invalidate_path(path)
+        yield from self.mount.unlink(path)
+
+    def ssdfree(self, variable: NVMVariable) -> Generator[Event, object, None]:
+        """Release an allocation: unmap, and unlink the backing file when
+        the last mapping on this node drops.
+
+        If the variable's chunks are linked into a checkpoint, the store's
+        refcounts keep the checkpoint intact; only the variable's own
+        references are released (§III-E persistence rules).
+        """
+        path = variable.backing_path
+        if path not in self._mapping_refs:
+            raise NVMallocError(f"ssdfree of unknown variable over {path!r}")
+        yield from variable.region.munmap()
+        yield from self.mount.cache.flush_path(path)
+        self._mapping_refs[path] -= 1
+        if self._mapping_refs[path] == 0:
+            del self._mapping_refs[path]
+            if path in self._persistent_paths:
+                # Persistent variables outlive their mappings: keep the
+                # backing file, just drop our cached chunks.
+                self.mount.cache.invalidate_path(path)
+            else:
+                self.mount.cache.invalidate_path(path)
+                yield from self.mount.unlink(path)
+        self.metrics.add("nvmalloc.ssdfree.calls")
+
+    # ------------------------------------------------------------------
+    # Typed-array conveniences
+    # ------------------------------------------------------------------
+    def ssdmalloc_array(
+        self,
+        shape: tuple[int, ...] | Sequence[int],
+        dtype: object = np.float64,
+        *,
+        owner: str = "app",
+        shared_key: str | None = None,
+        persistent_name: str | None = None,
+    ) -> Generator[Event, object, NVMArray]:
+        """Allocate a typed array on the NVM store."""
+        shape = tuple(int(s) for s in shape)
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        variable = yield from self.ssdmalloc(
+            nbytes, owner=owner, shared_key=shared_key,
+            persistent_name=persistent_name,
+        )
+        return NVMArray(variable, shape, np.dtype(dtype))
+
+    def dram_array(
+        self, shape: tuple[int, ...] | Sequence[int], dtype: object = np.float64
+    ) -> DRAMArray:
+        """Allocate a typed array in node-local DRAM (budget-checked)."""
+        shape = tuple(int(s) for s in shape)
+        return DRAMArray(self.node.dram, shape, np.dtype(dtype))
+
+    # ------------------------------------------------------------------
+    # Checkpointing (paper §III-E)
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self, tag: str, timestep: int) -> str:
+        return f"{MOUNT_POINT}/checkpoints/{tag}.{timestep}"
+
+    def ssdcheckpoint(
+        self,
+        tag: str,
+        timestep: int,
+        dram_state: bytes,
+        variables: Sequence[tuple[str, NVMVariable]] = (),
+        *,
+        layout: Sequence[str] | None = None,
+    ) -> Generator[Event, object, CheckpointRecord]:
+        """Checkpoint DRAM state and NVM variables into one restart file.
+
+        The DRAM image is physically written to the store; each variable
+        is flushed (so its chunks reflect current contents) and then its
+        chunks are *linked* into the checkpoint file — zero copy, zero
+        extra NVM wear.  Subsequent writes to the variables trigger
+        copy-on-write in the store, so the checkpoint stays frozen.
+
+        ``layout`` optionally orders the sections within the restart file
+        (the §III-E "user may wish to specify the layout" hook): a
+        permutation of ``["__dram__", <variable labels...>]``.  Default:
+        DRAM image first, then variables in argument order.
+        """
+        key = (tag, timestep)
+        if key in self._checkpoints:
+            raise CheckpointError(f"checkpoint {tag}@{timestep} already exists")
+        var_map: dict[str, NVMVariable] = {}
+        for label, variable in variables:
+            if label == "__dram__" or label in var_map:
+                raise CheckpointError(f"duplicate/reserved section label {label!r}")
+            var_map[label] = variable
+        section_order = (
+            list(layout) if layout is not None
+            else ["__dram__", *var_map.keys()]
+        )
+        if sorted(section_order) != sorted(["__dram__", *var_map.keys()]):
+            raise CheckpointError(
+                f"layout {section_order!r} must be a permutation of "
+                f"['__dram__', {', '.join(map(repr, var_map))}]"
+            )
+        path = self._checkpoint_path(tag, timestep)
+        dram_len = len(dram_state)
+        fd = yield from self.mount.open(
+            path, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=0
+        )
+        sections: list[CheckpointSection] = []
+        record = CheckpointRecord(
+            tag=tag, timestep=timestep, path=path, sections=sections
+        )
+        for name in section_order:
+            if name == "__dram__":
+                yield from self.manager.rpc(self.node.name)
+                offset = self.manager.extend_file(
+                    path, dram_len, client=self.node.name
+                )
+                if dram_len:
+                    yield from self.mount.pwrite(fd, offset, dram_state)
+                sections.append(
+                    CheckpointSection(
+                        "__dram__", offset=offset, length=dram_len, linked=False
+                    )
+                )
+                record.bytes_written += dram_len
+            else:
+                variable = var_map[name]
+                if not variable.region.shared:
+                    raise CheckpointError(
+                        f"variable {name!r} is MAP_PRIVATE; checkpointing "
+                        "requires MAP_SHARED (paper §III-C)"
+                    )
+                # Flush app-side caches so the store holds current bytes.
+                yield from variable.region.msync()
+                yield from self.mount.cache.flush_path(variable.backing_path)
+                meta_before = self.manager.lookup(path)
+                offset = meta_before.num_chunks * self.chunk_size
+                self.manager.link_chunks(path, variable.backing_path)
+                sections.append(
+                    CheckpointSection(
+                        name, offset=offset, length=variable.nbytes, linked=True
+                    )
+                )
+                record.bytes_linked += variable.nbytes
+        yield from self.mount.fsync(fd)
+        yield from self.mount.close(fd)
+        self._checkpoints[key] = record
+        self.metrics.add("nvmalloc.checkpoint.bytes_written", record.bytes_written)
+        self.metrics.add("nvmalloc.checkpoint.bytes_linked", record.bytes_linked)
+        self.metrics.add("nvmalloc.checkpoint.calls")
+        return record
+
+    def checkpoint_record(self, tag: str, timestep: int) -> CheckpointRecord:
+        """The record of checkpoint ``tag``@``timestep`` (raises when absent)."""
+        try:
+            return self._checkpoints[(tag, timestep)]
+        except KeyError:
+            raise CheckpointError(f"no checkpoint {tag}@{timestep}") from None
+
+    def restore(
+        self, tag: str, timestep: int
+    ) -> Generator[Event, object, tuple[bytes, dict[str, bytes]]]:
+        """Read a checkpoint back: ``(dram_state, {label: variable_bytes})``.
+
+        Reads go through the normal FUSE path (a restart would fault the
+        data in the same way).
+        """
+        record = self.checkpoint_record(tag, timestep)
+        fd = yield from self.mount.open(record.path, OpenFlags.O_RDONLY)
+        dram_sec = record.dram_section
+        dram_state = yield from self.mount.pread(fd, dram_sec.offset, dram_sec.length)
+        variables: dict[str, bytes] = {}
+        for sec in record.variable_sections:
+            variables[sec.name] = yield from self.mount.pread(
+                fd, sec.offset, sec.length
+            )
+        yield from self.mount.close(fd)
+        return dram_state, variables
+
+    def drain_checkpoint_to_pfs(
+        self,
+        tag: str,
+        timestep: int,
+        pfs,
+        *,
+        dest: str | None = None,
+        block_bytes: int = 1024 * 1024,
+    ) -> Generator[Event, object, str]:
+        """Copy a checkpoint from the aggregate store to the center PFS.
+
+        The paper's deployment story (§III-E): checkpoint to the fast NVM
+        store, then *drain to the PFS in the background* for durability.
+        Spawn this generator as its own simulation process to overlap the
+        drain with subsequent compute:
+
+            engine.process(lib.drain_checkpoint_to_pfs("app", 3, pfs))
+
+        Returns the PFS file name.
+        """
+        record = self.checkpoint_record(tag, timestep)
+        if dest is None:
+            dest = f"scratch/checkpoints/{tag}.{timestep}"
+        total = self.manager.lookup(record.path).size
+        pfs.create(dest, total)
+        fd = yield from self.mount.open(record.path, OpenFlags.O_RDONLY)
+        for offset in range(0, total, block_bytes):
+            length = min(block_bytes, total - offset)
+            data = yield from self.mount.pread(fd, offset, length)
+            yield from pfs.write(self.node.name, dest, offset, data)
+        yield from self.mount.close(fd)
+        self.metrics.add("nvmalloc.checkpoint.drained_bytes", total)
+        return dest
+
+    def restore_from_pfs(
+        self,
+        tag: str,
+        timestep: int,
+        pfs,
+        *,
+        source: str | None = None,
+        block_bytes: int = 1024 * 1024,
+    ) -> Generator[Event, object, tuple[bytes, dict[str, bytes]]]:
+        """Restore a checkpoint from its drained PFS copy.
+
+        The disaster-recovery path of the §III-E story: the NVM store's
+        copy may be gone (node failures, space reclaimed), but the copy
+        `drain_checkpoint_to_pfs` pushed to the center-wide scratch
+        survives.  Returns ``(dram_state, {label: variable_bytes})`` like
+        :meth:`restore`, reading through the PFS instead of the store.
+        """
+        record = self.checkpoint_record(tag, timestep)
+        if source is None:
+            source = f"scratch/checkpoints/{tag}.{timestep}"
+        if not pfs.exists(source):
+            raise CheckpointError(
+                f"no drained copy of {tag}@{timestep} at {source!r}"
+            )
+
+        def read_section(offset: int, length: int) -> Generator[Event, object, bytes]:
+            parts: list[bytes] = []
+            for block_off in range(0, length, block_bytes):
+                take = min(block_bytes, length - block_off)
+                parts.append(
+                    (
+                        yield from pfs.read(
+                            self.node.name, source, offset + block_off, take
+                        )
+                    )
+                )
+            return b"".join(parts)
+
+        dram_sec = record.dram_section
+        dram_state = yield from read_section(dram_sec.offset, dram_sec.length)
+        variables: dict[str, bytes] = {}
+        for sec in record.variable_sections:
+            variables[sec.name] = yield from read_section(sec.offset, sec.length)
+        return dram_state, variables
+
+    def delete_checkpoint(self, tag: str, timestep: int) -> Generator[Event, object, None]:
+        """Remove a checkpoint file (linked chunks survive if still used)."""
+        record = self._checkpoints.pop((tag, timestep), None)
+        if record is None:
+            raise CheckpointError(f"no checkpoint {tag}@{timestep}")
+        yield from self.mount.unlink(record.path)
+
+    def __repr__(self) -> str:
+        return f"<NVMalloc on {self.node.name}>"

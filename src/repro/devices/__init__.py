@@ -1,0 +1,38 @@
+"""Device models seeded from the paper's Table I.
+
+Devices are *timing and wear* models: they charge virtual time for accesses
+(latency + size/bandwidth, with FIFO queueing per device channel) and, for
+SSDs, track flash-translation-layer state (page mapping, erase counts,
+write amplification).  Payload bytes live one layer up, in the store.
+"""
+
+from repro.devices.specs import (
+    DDR3_1600,
+    DEVICE_CATALOG,
+    FUSIONIO_IODRIVE_DUO,
+    HDD_7200RPM,
+    INTEL_X25E,
+    OCZ_REVODRIVE,
+    DeviceSpec,
+)
+from repro.devices.base import AccessKind, StorageDevice
+from repro.devices.dram import DRAM
+from repro.devices.ftl import FlashTranslationLayer
+from repro.devices.ssd import SSD
+from repro.devices.hdd import HDD
+
+__all__ = [
+    "AccessKind",
+    "DDR3_1600",
+    "DEVICE_CATALOG",
+    "DRAM",
+    "DeviceSpec",
+    "FlashTranslationLayer",
+    "FUSIONIO_IODRIVE_DUO",
+    "HDD",
+    "HDD_7200RPM",
+    "INTEL_X25E",
+    "OCZ_REVODRIVE",
+    "SSD",
+    "StorageDevice",
+]

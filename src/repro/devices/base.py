@@ -1,0 +1,101 @@
+"""Common storage-device timing model."""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+
+from repro.devices.specs import DeviceSpec
+from repro.errors import DeviceError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+from repro.util.recorder import MetricsRecorder
+
+
+class AccessKind(enum.Enum):
+    """Direction of a device access."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class StorageDevice:
+    """A device that serves reads and writes with queueing.
+
+    Each device owns a :class:`Resource` with ``spec.channels`` slots; an
+    access holds one slot for its full service time, so concurrent clients
+    queue exactly as they would at a real device's submission queue.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: DeviceSpec,
+        *,
+        name: str | None = None,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.name = name or spec.name
+        self.metrics = metrics if metrics is not None else MetricsRecorder()
+        self._channel = Resource(engine, capacity=spec.channels, name=self.name)
+
+    # ------------------------------------------------------------------
+    def service_time(self, kind: AccessKind, nbytes: int) -> float:
+        """Raw service time for a single access, before queueing."""
+        if kind is AccessKind.READ:
+            return self.spec.read_time(nbytes)
+        return self.spec.write_time(nbytes)
+
+    def _pre_access(self, kind: AccessKind, nbytes: int) -> None:
+        """Hook for subclasses (FTL accounting etc.); runs at grant time."""
+
+    def access(
+        self, kind: AccessKind, nbytes: int
+    ) -> Generator[Event, object, None]:
+        """Process generator: perform one access of ``nbytes``."""
+        if nbytes < 0:
+            raise DeviceError(f"{self.name}: negative access size {nbytes}")
+        req = self._channel.request()
+        yield req
+        try:
+            self._pre_access(kind, nbytes)
+            duration = self.service_time(kind, nbytes)
+            self.metrics.add(f"device.{self.name}.{kind.value}.bytes", nbytes)
+            self.metrics.add(f"device.{self.name}.{kind.value}.time", duration)
+            yield self.engine.timeout(duration)
+        finally:
+            self._channel.release(req)
+
+    def read(self, nbytes: int) -> Generator[Event, object, None]:
+        """Process generator: one read access."""
+        yield from self.access(AccessKind.READ, nbytes)
+
+    def write(self, nbytes: int) -> Generator[Event, object, None]:
+        """Process generator: one write access."""
+        yield from self.access(AccessKind.WRITE, nbytes)
+
+    # ------------------------------------------------------------------
+    def bytes_read(self) -> float:
+        """Total bytes read from this device."""
+        return self.metrics.value(f"device.{self.name}.read.bytes")
+
+    def bytes_written(self) -> float:
+        """Total bytes written to this device."""
+        return self.metrics.value(f"device.{self.name}.write.bytes")
+
+    def busy_seconds(self) -> float:
+        """Slot-seconds of service this device has delivered so far."""
+        return self._channel.busy_seconds()
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of slot-seconds busy over ``elapsed`` (default: now)."""
+        window = elapsed if elapsed is not None else self.engine.now
+        if window <= 0:
+            return 0.0
+        return self._channel.busy_seconds() / (window * self.spec.channels)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

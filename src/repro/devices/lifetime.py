@@ -1,0 +1,56 @@
+"""SSD lifetime estimation from endurance and write traffic.
+
+Backs the paper's §I/§III-A lifetime argument ("NVM devices such as SSDs
+have limited write cycles. Our design needs to optimize the total write
+volume on these devices") with numbers: given a device spec and a host
+write rate, how long until the flash endurance budget is exhausted?
+"""
+
+from __future__ import annotations
+
+from repro.devices.specs import DeviceSpec
+
+
+def endurance_budget_bytes(spec: DeviceSpec) -> float:
+    """Total bytes of flash programs the device can absorb.
+
+    Capacity times per-block P/E cycles: the standard first-order
+    endurance model (every byte of capacity can be rewritten
+    ``endurance_cycles`` times).
+    """
+    if spec.kind != "ssd":
+        raise ValueError(f"{spec.name} is not an SSD")
+    return float(spec.capacity) * spec.endurance_cycles
+
+
+def estimated_lifetime_days(
+    spec: DeviceSpec,
+    host_bytes_per_day: float,
+    *,
+    write_amplification: float = 1.0,
+) -> float:
+    """Days until the endurance budget is exhausted.
+
+    ``write_amplification`` converts host writes to flash programs; take
+    it from a measured :class:`~repro.devices.ftl.FTLStats` for the
+    workload in question (see ``examples/device_wear_study.py``).
+    """
+    if host_bytes_per_day <= 0:
+        raise ValueError("host_bytes_per_day must be positive")
+    if write_amplification < 1.0:
+        raise ValueError("write amplification cannot be below 1.0")
+    flash_per_day = host_bytes_per_day * write_amplification
+    return endurance_budget_bytes(spec) / flash_per_day
+
+
+def lifetime_gain_from_optimization(
+    unoptimized_bytes: float, optimized_bytes: float
+) -> float:
+    """Lifetime multiplier from a write-volume optimization.
+
+    For the paper's Table VII traffic (19.3 GB vs 504 MB per run), this
+    is ~38x more device lifetime for the same application work.
+    """
+    if optimized_bytes <= 0 or unoptimized_bytes <= 0:
+        raise ValueError("byte volumes must be positive")
+    return unoptimized_bytes / optimized_bytes

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the NVMalloc reproduction.
+
+Every layer raises a subclass of :class:`ReproError` so that callers can
+catch simulation-domain failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event engine (e.g. yielding a non-event)."""
+
+
+class DeviceError(ReproError):
+    """Errors raised by device models."""
+
+
+class CapacityError(DeviceError):
+    """A device or store ran out of space."""
+
+
+class EnduranceExceededError(DeviceError):
+    """An SSD block exceeded its program/erase cycle budget."""
+
+
+class NetworkError(ReproError):
+    """Errors raised by the network substrate."""
+
+
+class StoreError(ReproError):
+    """Errors raised by the aggregate NVM store."""
+
+
+class ChunkNotFoundError(StoreError):
+    """A chunk id could not be resolved to a benefactor."""
+
+
+class FileNotFoundInStoreError(StoreError):
+    """A logical file name is unknown to the manager."""
+
+
+class FileExistsInStoreError(StoreError):
+    """A logical file name already exists at the manager."""
+
+
+class BenefactorDownError(StoreError):
+    """The targeted benefactor has been marked offline."""
+
+
+class FuseError(ReproError):
+    """Errors raised by the FUSE-like file system layer."""
+
+
+class BadFileDescriptorError(FuseError):
+    """Operation on a closed or unknown file descriptor."""
+
+
+class MmapError(ReproError):
+    """Errors raised by the mmap emulation layer."""
+
+
+class NVMallocError(ReproError):
+    """Errors raised by the NVMalloc core library."""
+
+
+class AllocationError(NVMallocError):
+    """``ssdmalloc`` could not satisfy an allocation."""
+
+
+class CheckpointError(NVMallocError):
+    """``ssdcheckpoint`` or restart failed."""
+
+
+class CommError(ReproError):
+    """Errors raised by the simulated MPI layer."""

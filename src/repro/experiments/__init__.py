@@ -1,0 +1,45 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Each driver builds a fresh simulated testbed at a chosen
+:class:`~repro.experiments.configs.ExperimentScale`, runs the paper's
+workload grid, and returns an :class:`~repro.experiments.report.ExperimentReport`
+whose rows mirror the paper's table/figure (``report.render()`` prints it).
+"""
+
+from repro.experiments.configs import SMALL, TINY, ExperimentScale
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import Testbed
+from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
+from repro.experiments.tables import (
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    checkpoint_experiment,
+)
+from repro.experiments.cost import cost_analysis
+from repro.experiments.explicit import explicit_vs_swap
+
+__all__ = [
+    "ExperimentReport",
+    "ExperimentScale",
+    "SMALL",
+    "TINY",
+    "Testbed",
+    "checkpoint_experiment",
+    "cost_analysis",
+    "explicit_vs_swap",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

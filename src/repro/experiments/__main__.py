@@ -1,0 +1,108 @@
+"""Command-line experiment runner.
+
+Regenerate any (or all) of the paper's tables and figures::
+
+    python -m repro.experiments                 # everything, SMALL scale
+    python -m repro.experiments fig3 table7     # a subset
+    python -m repro.experiments --scale tiny    # quick structural pass
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    SMALL,
+    TINY,
+    checkpoint_experiment,
+    cost_analysis,
+    explicit_vs_swap,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+EXPERIMENTS = {
+    "table1": (table1, "Device characteristics"),
+    "fig2": (fig2, "STREAM TRIAD bandwidth by placement"),
+    "table3": (table3, "STREAM with vs without NVMalloc"),
+    "fig3": (fig3, "MM runtime breakdown across configurations"),
+    "fig4": (fig4, "Shared vs individual mmap files"),
+    "fig5": (fig5, "Row- vs column-major access"),
+    "table4": (table4, "Bytes exchanged app/FUSE/SSD"),
+    "table5": (table5, "Tile-size sweep"),
+    "fig6": (fig6, "MM beyond DRAM capacity"),
+    "table6": (table6, "Parallel sort"),
+    "table7": (table7, "Dirty-page write optimization"),
+    "checkpoint": (checkpoint_experiment, "Chunk-linked checkpointing"),
+    "cost": (cost_analysis, "Provisioning-cost analysis"),
+    "explicit": (explicit_vs_swap, "Explicit placement vs transparent swap"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"which to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale", choices=["small", "tiny"], default="small",
+        help="experiment scale (default: small, the calibrated one)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:12s} {description}")
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    scale = SMALL if args.scale == "small" else TINY
+
+    failed = []
+    for name in names:
+        driver, _ = EXPERIMENTS[name]
+        start = time.time()
+        report = driver() if name == "table1" else driver(scale)
+        print(report.render())
+        print(f"[{name}: {time.time() - start:.1f}s wall]\n")
+        if not report.verified:
+            failed.append(name)
+    if failed:
+        print(f"UNVERIFIED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _entry() -> int:
+    """Console-script entry point tolerant of closed pipes (`| head`)."""
+    try:
+        return main()
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_entry())

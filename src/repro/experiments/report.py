@@ -1,0 +1,48 @@
+"""Structured experiment results with paper-style rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import render_table
+
+
+@dataclass
+class ExperimentReport:
+    """One table/figure reproduction: rows plus provenance notes."""
+
+    experiment: str  # e.g. "Figure 3"
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    paper_claims: list[str] = field(default_factory=list)
+    measured_claims: list[str] = field(default_factory=list)
+    verified: bool = True
+
+    def add_row(self, *cells: object) -> None:
+        """Append one table row."""
+        self.rows.append(list(cells))
+
+    def claim(self, paper: str, measured: str) -> None:
+        """Record one paper-vs-measured comparison line."""
+        self.paper_claims.append(paper)
+        self.measured_claims.append(measured)
+
+    def render(self) -> str:
+        """The report as an aligned monospace table plus claim lines."""
+        lines = [
+            render_table(
+                self.headers, self.rows,
+                title=f"{self.experiment}: {self.title} [{'OK' if self.verified else 'UNVERIFIED'}]",
+            )
+        ]
+        if self.paper_claims:
+            lines.append("")
+            lines.append("paper vs measured:")
+            for paper, measured in zip(self.paper_claims, self.measured_claims):
+                lines.append(f"  paper:    {paper}")
+                lines.append(f"  measured: {measured}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

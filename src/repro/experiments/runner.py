@@ -1,0 +1,76 @@
+"""Testbed assembly: engine + HAL cluster + PFS + job for one run.
+
+Every experiment run gets a *fresh* testbed so metric counters, device
+wear, and cache state never leak between configurations.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.hal import make_hal_cluster
+from repro.experiments.configs import ExperimentScale
+from repro.parallel.job import Job, JobConfig
+from repro.pfs.pfs import ParallelFileSystem
+from repro.sim.engine import Engine
+
+
+class Testbed:
+    """A freshly assembled simulated HAL testbed at one experiment scale."""
+
+    __test__ = False  # not a pytest collection target despite the name
+
+    def __init__(self, scale: ExperimentScale) -> None:
+        self.scale = scale
+        self.engine = Engine()
+        self.cluster: Cluster = make_hal_cluster(self.engine, scale.hal_config())
+        self.pfs = ParallelFileSystem(
+            self.engine,
+            self.cluster.network,
+            num_servers=scale.pfs_servers,
+            metrics=self.cluster.metrics,
+        )
+
+    def job(
+        self,
+        procs_per_node: int,
+        num_nodes: int,
+        num_benefactors: int,
+        *,
+        remote_ssd: bool = False,
+        **overrides,
+    ) -> Job:
+        """A job in the paper's ``x:y:z`` notation on this testbed."""
+        config = JobConfig(
+            procs_per_node=procs_per_node,
+            num_nodes=num_nodes,
+            num_benefactors=num_benefactors,
+            remote_ssd=remote_ssd,
+            fuse_cache_bytes=overrides.pop("fuse_cache_bytes", self.scale.fuse_cache),
+            page_cache_bytes=overrides.pop("page_cache_bytes", self.scale.page_cache),
+            benefactor_contribution=overrides.pop(
+                "benefactor_contribution", self.scale.benefactor_contribution
+            ),
+            **overrides,
+        )
+        return Job(self.cluster, config)
+
+
+def fresh_job(
+    scale: ExperimentScale,
+    procs_per_node: int,
+    num_nodes: int,
+    num_benefactors: int,
+    *,
+    remote_ssd: bool = False,
+    **overrides,
+) -> tuple[Testbed, Job]:
+    """Convenience: a new testbed plus a job on it."""
+    testbed = Testbed(scale)
+    job = testbed.job(
+        procs_per_node,
+        num_nodes,
+        num_benefactors,
+        remote_ssd=remote_ssd,
+        **overrides,
+    )
+    return testbed, job

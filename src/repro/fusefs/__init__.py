@@ -1,0 +1,18 @@
+"""FUSE-like user-space file system over the aggregate NVM store.
+
+Each compute node mounts the store (``/mnt/aggregatenvm``) through a
+:class:`FuseMount` that exposes POSIX-flavoured operations (open / pread /
+pwrite / fallocate / fsync / unlink) and owns the node's chunk cache — the
+layer that bridges the granularity gap between byte-level memory accesses
+and 256 KB chunk transfers (paper §III-D):
+
+- reads fetch whole chunks and keep them for reuse (read-ahead effect);
+- writes are tracked at 4 KB page granularity, and evictions send *only
+  dirty pages* to benefactors (the paper's Table VII write optimization).
+"""
+
+from repro.fusefs.flags import OpenFlags
+from repro.fusefs.cache import CacheStats, ChunkCache
+from repro.fusefs.mount import FuseMount
+
+__all__ = ["CacheStats", "ChunkCache", "FuseMount", "OpenFlags"]

@@ -1,0 +1,30 @@
+"""POSIX-style open flags implemented by the FUSE layer.
+
+The paper extends its FUSE file system with the flags ``mmap`` requires;
+``O_RDWR`` in particular must guarantee that written data is immediately
+readable (§III-C).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpenFlags(enum.IntFlag):
+    """Subset of POSIX open(2) flags honoured by :class:`FuseMount`."""
+
+    O_RDONLY = 0x0
+    O_WRONLY = 0x1
+    O_RDWR = 0x2
+    O_CREAT = 0x40
+    O_TRUNC = 0x200
+
+    @property
+    def readable(self) -> bool:
+        """True when the flags permit reading."""
+        return not (self & OpenFlags.O_WRONLY)
+
+    @property
+    def writable(self) -> bool:
+        """True when the flags permit writing."""
+        return bool(self & (OpenFlags.O_WRONLY | OpenFlags.O_RDWR))

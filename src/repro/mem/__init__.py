@@ -1,0 +1,22 @@
+"""Memory-mapping emulation.
+
+CPython cannot intercept page faults, so the byte-addressability the paper
+gets from ``mmap(2)`` is emulated: an :class:`MmapRegion` resolves byte
+accesses through a per-node OS page-cache model (4 KB pages, LRU,
+write-back) onto the FUSE layer, reproducing the paper's cache hierarchy
+"mmap/page cache -> FUSE chunk cache -> aggregate store" and its byte-flow
+accounting (Table IV's app -> FUSE -> SSD columns).
+"""
+
+from repro.mem.pagecache import PageCache, PageCacheStats
+from repro.mem.mmap import MmapRegion, Protection
+from repro.mem.swap import SwapSpace, SwappedArray
+
+__all__ = [
+    "MmapRegion",
+    "PageCache",
+    "PageCacheStats",
+    "Protection",
+    "SwapSpace",
+    "SwappedArray",
+]

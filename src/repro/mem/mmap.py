@@ -1,0 +1,160 @@
+"""``mmap(2)`` emulation over the FUSE-mounted aggregate store.
+
+An :class:`MmapRegion` is what ``ssdmalloc`` hands back: a byte-addressable
+window onto a store-resident file.  Reads and writes resolve through the
+node's OS page-cache model; ``MAP_SHARED`` semantics propagate writes to
+the underlying file (required for checkpointing, §III-C), while
+``MAP_PRIVATE`` keeps modifications in a per-region copy-on-write overlay.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+
+from repro.devices.base import AccessKind
+from repro.errors import MmapError
+from repro.mem.pagecache import PageCache
+from repro.sim.events import Event
+
+
+class Protection(enum.IntFlag):
+    """mmap protection bits."""
+
+    PROT_READ = 0x1
+    PROT_WRITE = 0x2
+
+
+class MmapRegion:
+    """A byte-addressable mapping of a store file into a process.
+
+    Obtained via :meth:`repro.core.NVMalloc.ssdmalloc`; the application
+    never sees the backing file name, just this region (the paper's
+    ``nvmvar``).
+    """
+
+    def __init__(
+        self,
+        pagecache: PageCache,
+        path: str,
+        length: int,
+        *,
+        prot: Protection = Protection.PROT_READ | Protection.PROT_WRITE,
+        shared: bool = True,
+        offset: int = 0,
+    ) -> None:
+        size = pagecache.mount.stat_size(path)
+        if offset < 0 or length < 0 or offset + length > size:
+            raise MmapError(
+                f"mapping [{offset}, {offset + length}) outside {path!r} "
+                f"of size {size}"
+            )
+        self.pagecache = pagecache
+        self.path = path
+        self.length = length
+        self.prot = prot
+        self.shared = shared
+        self.offset = offset
+        self.metrics = pagecache.metrics
+        self._mapped = True
+        # MAP_PRIVATE copy-on-write overlay: page index -> private bytes.
+        self._private: dict[int, bytearray] = {}
+        self._page = pagecache.page_size
+
+    # ------------------------------------------------------------------
+    def _check(self, offset: int, length: int, *, write: bool) -> None:
+        if not self._mapped:
+            raise MmapError(f"region over {self.path!r} has been unmapped")
+        if write and not (self.prot & Protection.PROT_WRITE):
+            raise MmapError("write to PROT_READ-only mapping")
+        if not write and not (self.prot & Protection.PROT_READ):
+            raise MmapError("read from PROT_WRITE-only mapping")
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise MmapError(
+                f"access [{offset}, {offset + length}) outside region of "
+                f"{self.length}"
+            )
+
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> Generator[Event, object, bytes]:
+        """Read ``length`` bytes at region ``offset``."""
+        self._check(offset, length, write=False)
+        self.metrics.add("mmap.app_read.bytes", length)
+        file_off = self.offset + offset
+        if not self._private:
+            return (yield from self.pagecache.read(self.path, file_off, length))
+        # Private overlay: splice privately written pages over file bytes.
+        data = bytearray(
+            (yield from self.pagecache.read(self.path, file_off, length))
+        )
+        first = file_off // self._page
+        last = (file_off + length - 1) // self._page if length else first - 1
+        for page_idx in range(first, last + 1):
+            overlay = self._private.get(page_idx)
+            if overlay is None:
+                continue
+            page_start = page_idx * self._page
+            lo = max(page_start, file_off)
+            hi = min(page_start + self._page, file_off + length)
+            data[lo - file_off : hi - file_off] = overlay[
+                lo - page_start : hi - page_start
+            ]
+        return bytes(data)
+
+    def write(self, offset: int, data: bytes) -> Generator[Event, object, None]:
+        """Write ``data`` at region ``offset``."""
+        self._check(offset, len(data), write=True)
+        self.metrics.add("mmap.app_write.bytes", len(data))
+        file_off = self.offset + offset
+        if self.shared:
+            yield from self.pagecache.write(self.path, file_off, data)
+            return
+        # MAP_PRIVATE: copy-on-write into the overlay; the file is never
+        # modified.
+        cursor = file_off
+        end = file_off + len(data)
+        while cursor < end:
+            page_idx = cursor // self._page
+            in_page = cursor - page_idx * self._page
+            piece = min(self._page - in_page, end - cursor)
+            overlay = self._private.get(page_idx)
+            if overlay is None:
+                page_start = page_idx * self._page
+                span = min(self._page, self.pagecache.mount.stat_size(self.path) - page_start)
+                base = yield from self.pagecache.read(self.path, page_start, span)
+                overlay = bytearray(self._page)
+                overlay[: len(base)] = base
+                self._private[page_idx] = overlay
+            overlay[in_page : in_page + piece] = data[
+                cursor - file_off : cursor - file_off + piece
+            ]
+            cursor += piece
+        yield from self.pagecache.mount.node.dram.access(AccessKind.WRITE, len(data))
+
+    # ------------------------------------------------------------------
+    def msync(self) -> Generator[Event, object, None]:
+        """Flush dirty pages of a shared mapping to the FUSE layer."""
+        if not self._mapped:
+            raise MmapError(f"region over {self.path!r} has been unmapped")
+        if self.shared:
+            yield from self.pagecache.sync_path(self.path)
+
+    def munmap(self) -> Generator[Event, object, None]:
+        """Tear the mapping down (shared mappings sync first)."""
+        if not self._mapped:
+            return
+        yield from self.pagecache.drop_path(self.path, sync=self.shared)
+        self._private.clear()
+        self._mapped = False
+
+    @property
+    def mapped(self) -> bool:
+        """True until ``munmap`` tears the mapping down."""
+        return self._mapped
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        kind = "shared" if self.shared else "private"
+        return f"<MmapRegion {self.path} len={self.length} {kind}>"

@@ -1,0 +1,315 @@
+"""OS page-cache model: 4 KB pages between the application and FUSE.
+
+Resident pages serve memory accesses at DRAM speed; misses fault the page
+in from the FUSE layer (which fetches whole 256 KB chunks from the store —
+the granularity bridge of paper §III-D).  Dirty pages are written back to
+FUSE at page granularity, matching "the OS page cache sends out write
+requests to the FUSE layer on a page granularity".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Generator
+from dataclasses import dataclass
+
+from repro.devices.base import AccessKind
+from repro.errors import MmapError
+from repro.fusefs.mount import FuseMount
+from repro.sim.events import Event
+from repro.store.chunk import PAGE_SIZE
+from repro.util.recorder import MetricsRecorder
+
+
+@dataclass
+class PageCacheStats:
+    """Hit/miss and byte-flow accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    faulted_bytes: int = 0  # FUSE -> page cache
+    writeback_bytes: int = 0  # page cache -> FUSE
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page lookups served from resident pages."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Page:
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, page_size: int) -> None:
+        self.data = bytearray(page_size)
+        self.dirty = False
+
+
+class PageCache:
+    """Per-node LRU cache of file pages, backed by the node's FUSE mount."""
+
+    #: Kernel/FUSE crossing cost per page-granular request.  mmap page
+    #: faults and dirty-page write-backs each pay one user-kernel-user
+    #: round trip through the FUSE daemon; this is why the paper's STREAM
+    #: over NVMalloc runs far below raw device bandwidth (Table III).
+    FUSE_OP_OVERHEAD = 25e-6
+
+    def __init__(
+        self,
+        mount: FuseMount,
+        *,
+        capacity_bytes: int,
+        page_size: int = PAGE_SIZE,
+        fuse_op_overhead: float = FUSE_OP_OVERHEAD,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        if capacity_bytes < page_size:
+            raise MmapError(
+                f"page cache of {capacity_bytes} bytes cannot hold one page"
+            )
+        self.mount = mount
+        self.node = mount.node
+        self.page_size = page_size
+        self.fuse_op_overhead = fuse_op_overhead
+        self.capacity_pages = capacity_bytes // page_size
+        self.metrics = metrics if metrics is not None else mount.metrics
+        self.stats = PageCacheStats()
+        self._pages: OrderedDict[tuple[str, int], _Page] = OrderedDict()
+        # Pages whose eviction flush is in flight: concurrent faults must
+        # wait for the flush to reach FUSE before refetching, or they
+        # would read pre-flush (stale) bytes.
+        self._inflight: dict[tuple[str, int], Event] = {}
+        # Page-cache pages occupy node DRAM.
+        mount.node.dram.allocate(capacity_bytes)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    def _dram_access(self, kind: AccessKind, nbytes: int) -> Generator[Event, object, None]:
+        """Charge DRAM time for bytes served from resident pages."""
+        if nbytes:
+            yield from self.node.dram.access(kind, nbytes)
+
+    def _fuse_cache(self):
+        return self.mount.cache
+
+    def _evict_one(self) -> Generator[Event, object, None]:
+        key, page = self._pages.popitem(last=False)
+        if page.dirty:
+            done = Event(self.mount.node.engine)
+            self._inflight[key] = done
+            try:
+                yield from self._flush_page(key[0], key[1], page)
+            finally:
+                del self._inflight[key]
+                done.succeed(None)
+
+    def _flush_page(
+        self, path: str, page_idx: int, page: _Page
+    ) -> Generator[Event, object, None]:
+        offset = page_idx * self.page_size
+        length = min(self.page_size, self.mount.stat_size(path) - offset)
+        chunk_index = offset // self.mount.chunk_size
+        chunk_off = offset - chunk_index * self.mount.chunk_size
+        # Un-dirty before yielding: writes landing while the payload is
+        # in flight re-dirty the page and flush later.
+        payload = bytes(page.data[:length])
+        page.dirty = False
+        if self.fuse_op_overhead:
+            yield self.node.engine.timeout(self.fuse_op_overhead)
+        yield from self._fuse_cache().write(path, chunk_index, chunk_off, payload)
+        self.stats.writeback_bytes += length
+        self.metrics.add("pagecache.writeback.bytes", length)
+
+    def _insert(
+        self, path: str, page_idx: int
+    ) -> Generator[Event, object, tuple[_Page, bool]]:
+        """Pin a page slot for ``(path, page_idx)``.
+
+        Returns ``(page, created)``: ``created`` is False when the page
+        was already (or concurrently became) resident — fillers must not
+        overwrite such a page with older store bytes, because another
+        rank may have written to it since.
+        """
+        key = (path, page_idx)
+        while True:
+            # Wait out an in-flight eviction flush of this very page.
+            while key in self._inflight:
+                yield self._inflight[key]
+            if key in self._pages:
+                # Someone else faulted it back in while we waited.
+                self._pages.move_to_end(key)
+                return self._pages[key], False
+            while len(self._pages) >= self.capacity_pages:
+                yield from self._evict_one()
+            if key in self._pages or key in self._inflight:
+                continue  # appeared (or re-entered eviction) while evicting
+            page = _Page(self.page_size)
+            self._pages[key] = page
+            return page, True
+
+    def _fault_range(
+        self, path: str, first_page: int, last_page: int
+    ) -> Generator[Event, object, None]:
+        """Fault pages ``first_page..last_page`` (inclusive) in from FUSE.
+
+        Contiguous missing pages are requested as one FUSE read per chunk
+        piece, but inserted (and later evictable) page by page.
+        """
+        # Pages of this range may have in-flight eviction flushes; their
+        # bytes are not in FUSE yet, so fetching now would resurrect
+        # stale data.  Wait for those flushes to land first.
+        for page_idx in range(first_page, last_page + 1):
+            key = (path, page_idx)
+            while key in self._inflight:
+                yield self._inflight[key]
+        offset = first_page * self.page_size
+        size = self.mount.stat_size(path)
+        length = min((last_page + 1) * self.page_size, size) - offset
+        cache = self._fuse_cache()
+        # Each faulted page is one mmap fault serviced through the FUSE
+        # daemon: charge the kernel-crossing overhead per page.
+        npages = last_page - first_page + 1
+        if self.fuse_op_overhead:
+            yield self.node.engine.timeout(npages * self.fuse_op_overhead)
+        cursor = offset
+        end = offset + length
+        while cursor < end:
+            chunk_index = cursor // self.mount.chunk_size
+            chunk_off = cursor - chunk_index * self.mount.chunk_size
+            piece = min(self.mount.chunk_size - chunk_off, end - cursor)
+            data = yield from cache.read(path, chunk_index, chunk_off, piece)
+            for inner in range(0, piece, self.page_size):
+                page_idx = (cursor + inner) // self.page_size
+                page, created = yield from self._insert(path, page_idx)
+                if created:
+                    segment = data[inner : inner + self.page_size]
+                    page.data[: len(segment)] = segment
+            cursor += piece
+        self.stats.faulted_bytes += length
+        self.metrics.add("pagecache.fault.bytes", length)
+
+    # ------------------------------------------------------------------
+    # Public byte-range access
+    # ------------------------------------------------------------------
+    def read(
+        self, path: str, offset: int, length: int
+    ) -> Generator[Event, object, bytes]:
+        """Read bytes, faulting missing pages in from FUSE."""
+        self._check(path, offset, length)
+        if length == 0:
+            return b""
+        first = offset // self.page_size
+        last = (offset + length - 1) // self.page_size
+        # Group contiguous missing pages into ranged faults.
+        run_start: int | None = None
+        resident = 0
+        for page_idx in range(first, last + 1):
+            key = (path, page_idx)
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                self.stats.hits += 1
+                resident += 1
+                if run_start is not None:
+                    yield from self._fault_range(path, run_start, page_idx - 1)
+                    run_start = None
+            else:
+                self.stats.misses += 1
+                if run_start is None:
+                    run_start = page_idx
+        if run_start is not None:
+            yield from self._fault_range(path, run_start, last)
+        yield from self._dram_access(AccessKind.READ, resident * self.page_size)
+        # Assemble the requested bytes from resident pages.
+        parts: list[bytes] = []
+        cursor = offset
+        end = offset + length
+        while cursor < end:
+            page_idx = cursor // self.page_size
+            in_page = cursor - page_idx * self.page_size
+            piece = min(self.page_size - in_page, end - cursor)
+            key = (path, page_idx)
+            page = self._pages.get(key)
+            if page is None:
+                # A range larger than the cache evicted its own head while
+                # faulting its tail; refault just this page.
+                yield from self._fault_range(path, page_idx, page_idx)
+                page = self._pages[key]
+            self._pages.move_to_end(key)
+            parts.append(bytes(page.data[in_page : in_page + piece]))
+            cursor += piece
+        self.metrics.add("pagecache.read.bytes", length)
+        return b"".join(parts)
+
+    def write(
+        self, path: str, offset: int, data: bytes
+    ) -> Generator[Event, object, None]:
+        """Write bytes, dirtying pages (write-allocate, write-back)."""
+        self._check(path, offset, len(data))
+        if not data:
+            return
+        cursor = offset
+        end = offset + len(data)
+        written_resident = 0
+        while cursor < end:
+            page_idx = cursor // self.page_size
+            in_page = cursor - page_idx * self.page_size
+            piece = min(self.page_size - in_page, end - cursor)
+            key = (path, page_idx)
+            page = self._pages.get(key)
+            if page is None:
+                self.stats.misses += 1
+                if piece == self.page_size:
+                    # Full-page overwrite: allocate without fetching.
+                    page, _created = yield from self._insert(path, page_idx)
+                else:
+                    yield from self._fault_range(path, page_idx, page_idx)
+                    page = self._pages[key]
+            else:
+                self.stats.hits += 1
+                self._pages.move_to_end(key)
+            page.data[in_page : in_page + piece] = data[
+                cursor - offset : cursor - offset + piece
+            ]
+            page.dirty = True
+            written_resident += piece
+            cursor += piece
+        yield from self._dram_access(AccessKind.WRITE, written_resident)
+        self.metrics.add("pagecache.write.bytes", len(data))
+
+    # ------------------------------------------------------------------
+    def drain_path(self, path: str) -> Generator[Event, object, None]:
+        """Wait until no eviction flush for ``path`` is in flight."""
+        while True:
+            pending = [
+                event for key, event in self._inflight.items() if key[0] == path
+            ]
+            if not pending:
+                return
+            yield pending[0]
+
+    def sync_path(self, path: str) -> Generator[Event, object, None]:
+        """Flush all dirty pages of ``path`` to FUSE (msync)."""
+        yield from self.drain_path(path)
+        for (p, page_idx), page in list(self._pages.items()):
+            if p == path and page.dirty:
+                yield from self._flush_page(p, page_idx, page)
+        yield from self.drain_path(path)
+
+    def drop_path(self, path: str, *, sync: bool = True) -> Generator[Event, object, None]:
+        """Flush (optionally) and evict all pages of ``path`` (munmap)."""
+        if sync:
+            yield from self.sync_path(path)
+        else:
+            yield from self.drain_path(path)
+        for key in [k for k in self._pages if k[0] == path]:
+            del self._pages[key]
+
+    def _check(self, path: str, offset: int, length: int) -> None:
+        size = self.mount.stat_size(path)
+        if offset < 0 or length < 0 or offset + length > size:
+            raise MmapError(
+                f"page-cache access [{offset}, {offset + length}) outside "
+                f"{path!r} of size {size}"
+            )

@@ -1,0 +1,19 @@
+"""Interconnect model: NICs, a switched fabric, and transfer accounting.
+
+HAL's bonded dual Gigabit Ethernet (Table II) becomes per-node full-duplex
+NICs attached to a non-blocking switch; contention emerges from FIFO
+queueing at the sender's TX and receiver's RX ports, which is exactly where
+the paper's R-SSD(8:8:1) fan-in pressure materializes.
+"""
+
+from repro.network.link import NIC, LinkSpec, BONDED_DUAL_GIGE, GIGE, TEN_GIGE
+from repro.network.fabric import Network
+
+__all__ = [
+    "BONDED_DUAL_GIGE",
+    "GIGE",
+    "LinkSpec",
+    "NIC",
+    "Network",
+    "TEN_GIGE",
+]

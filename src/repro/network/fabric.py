@@ -1,0 +1,84 @@
+"""Switched fabric connecting cluster nodes."""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.errors import NetworkError
+from repro.network.link import NIC, LinkSpec
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.util.recorder import MetricsRecorder
+
+
+class Network:
+    """A non-blocking switch interconnecting named endpoints.
+
+    A transfer occupies the sender's TX port and the receiver's RX port for
+    the message's wire time; the switch backplane itself is non-blocking
+    (as HAL's Ethernet switch effectively is at 16 ports).  Same-endpoint
+    transfers are free: locality is decided by the caller, which models
+    local SSD access bypassing the network entirely.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: LinkSpec,
+        *,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.metrics = metrics if metrics is not None else MetricsRecorder()
+        self._nics: dict[str, NIC] = {}
+
+    def attach(self, endpoint: str) -> NIC:
+        """Register ``endpoint`` and give it a NIC."""
+        if endpoint in self._nics:
+            raise NetworkError(f"endpoint {endpoint!r} already attached")
+        nic = NIC(self.engine, self.spec, endpoint)
+        self._nics[endpoint] = nic
+        return nic
+
+    def nic(self, endpoint: str) -> NIC:
+        """The NIC attached for ``endpoint`` (raises for unknown names)."""
+        try:
+            return self._nics[endpoint]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {endpoint!r}") from None
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self, src: str, dst: str, nbytes: int
+    ) -> Generator[Event, object, None]:
+        """Process generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        Ports are acquired TX-then-RX (a fixed global order, so concurrent
+        transfers cannot deadlock) and held together for the wire time.
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative transfer size {nbytes}")
+        if src == dst:
+            return  # node-local: no network involvement
+        src_nic = self.nic(src)
+        dst_nic = self.nic(dst)
+        tx_req = src_nic.tx.request()
+        yield tx_req
+        rx_req = dst_nic.rx.request()
+        try:
+            yield rx_req
+            try:
+                duration = self.spec.transfer_time(nbytes)
+                self.metrics.add("network.bytes", nbytes)
+                self.metrics.add(f"network.{src}.tx.bytes", nbytes)
+                self.metrics.add(f"network.{dst}.rx.bytes", nbytes)
+                yield self.engine.timeout(duration)
+            finally:
+                dst_nic.rx.release(rx_req)
+        finally:
+            src_nic.tx.release(tx_req)
+
+    def total_bytes(self) -> float:
+        """All bytes that crossed the fabric so far."""
+        return self.metrics.value("network.bytes")

@@ -1,0 +1,13 @@
+"""Simulated MPI: ranks as simulation processes, collectives over the fabric.
+
+The paper's workloads (MM, parallel quicksort) are MPI programs; here each
+rank is a discrete-event process pinned to one core, and point-to-point /
+collective operations move real numpy payloads while charging network time
+through the cluster fabric (mpi4py-style API surface, lower-cased object
+methods, ``yield from`` instead of blocking calls).
+"""
+
+from repro.parallel.comm import Communicator, RankContext
+from repro.parallel.job import Job, JobConfig
+
+__all__ = ["Communicator", "Job", "JobConfig", "RankContext"]

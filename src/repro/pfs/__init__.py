@@ -1,0 +1,11 @@
+"""Parallel file system substrate (Lustre-class, disk-backed).
+
+The HPC center's scratch PFS appears in the evaluation twice: MM stages
+its input/output matrices there, and the DRAM-only 2-pass quicksort of
+Table VI must exchange interim sorted runs through it — which is exactly
+why it loses to NVMalloc's hybrid configuration by ~10x.
+"""
+
+from repro.pfs.pfs import ParallelFileSystem
+
+__all__ = ["ParallelFileSystem"]

@@ -1,0 +1,51 @@
+"""Unbounded FIFO message channels for process communication.
+
+The simulated MPI layer (:mod:`repro.parallel`) builds its point-to-point
+and collective operations on channels: ``put`` never blocks, ``get`` returns
+an event that fires when a message is available.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Channel:
+    """An unbounded FIFO of messages with blocking receive."""
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: object) -> None:
+        """Deposit ``item``; wakes the oldest waiting receiver, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next message."""
+        event = Event(self.engine)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Channel {self.name or id(self):#x} items={len(self._items)}"
+            f" waiting={len(self._getters)}>"
+        )

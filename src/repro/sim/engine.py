@@ -1,0 +1,105 @@
+"""The event loop: a time-ordered heap of triggered events."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from collections.abc import Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Maintains the virtual clock and the pending-event heap.  Create one per
+    experiment; all simulation objects (devices, links, processes) hold a
+    reference to it.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_processes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event to be processed after ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, object, object]) -> Process:
+        """Register ``generator`` as a simulation process and start it."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no more events to process")
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        event._process()
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the simulation.
+
+        - ``until is None``: run until the event heap is exhausted.
+        - ``until`` is a number: run until virtual time reaches it.
+        - ``until`` is an :class:`Event` (e.g. a :class:`Process`): run until
+          that event fires, then return its value (re-raising a failure).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event "
+                        "fired (deadlock: a process is waiting on an event "
+                        "nothing will trigger)"
+                    )
+                self.step()
+            if not stop_event.ok:
+                value = stop_event.value
+                assert isinstance(value, BaseException)
+                raise value
+            return stop_event.value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"until={horizon} is in the past (now={self._now})"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None
+
+    def run_all(self, processes: typing.Sequence[Process]) -> list[object]:
+        """Run until every process in ``processes`` completes; return values."""
+        from repro.sim.events import AllOf
+
+        self.run(AllOf(self, list(processes)))
+        return [p.value for p in processes]

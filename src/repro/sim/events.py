@@ -1,0 +1,182 @@
+"""Event primitives for the simulation kernel."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` schedules it
+    to *trigger*, at which point all registered callbacks run exactly once.
+    Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self._value: object = _PENDING
+        self._ok = True
+        self._scheduled = False
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the event carries an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's payload (or exception).  Only valid once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: object = None, *, delay: float = 0.0) -> "Event":
+        """Schedule this event to trigger with ``value`` after ``delay``."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self._ok = True
+        self._scheduled = True
+        self.engine.schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+        """Schedule this event to trigger by raising ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self._scheduled:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = exception
+        self._ok = False
+        self._scheduled = True
+        self.engine.schedule(self, delay)
+        return self
+
+    # Called by the engine when the event fires.
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (immediately if done)."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self.succeed(value, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> object:
+        """The value passed to ``Process.interrupt``."""
+        return self.args[0] if self.args else None
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: typing.Sequence[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        for event in self.events:
+            if event.engine is not engine:
+                raise SimulationError("cannot mix events from different engines")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+        else:
+            for event in self.events:
+                event.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, object]:
+        # ``processed`` (callbacks ran, i.e. the event's time arrived), not
+        # ``triggered``: a Timeout is scheduled — hence triggered — at
+        # construction, long before it fires.
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has fired.
+
+    Fails immediately (with the first failure) if any constituent fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        assert event.processed  # we are inside its callback
+        if not event.ok:
+            assert isinstance(event.value, BaseException)
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            assert isinstance(event.value, BaseException)
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,105 @@
+"""Generator-driven simulation processes."""
+
+from __future__ import annotations
+
+import typing
+from collections.abc import Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Process(Event):
+    """A running simulation activity.
+
+    Wraps a generator that yields :class:`Event` objects.  Each yielded
+    event suspends the process until the event fires; the event's value is
+    sent back into the generator (or its exception thrown in).  The process
+    itself is an event that fires with the generator's return value, so
+    processes can wait on each other by yielding them.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, object, object],
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__} "
+                "(did you forget a yield in the process function?)"
+            )
+        super().__init__(engine)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current simulation time.
+        bootstrap = Event(engine)
+        bootstrap.succeed(None)
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._waiting_on is None:
+            raise SimulationError(
+                f"cannot interrupt {self.name}: it has not started waiting yet"
+            )
+        # Detach from whatever it was waiting on, then resume with the error.
+        waited = self._waiting_on
+        if waited.callbacks is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        poke = Event(self.engine)
+        poke.fail(Interrupt(cause))
+        poke.add_callback(self._resume)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                exc = event.value
+                assert isinstance(exc, BaseException)
+                target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances"
+            )
+            try:
+                self._generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:  # noqa: BLE001
+                self.fail(exc)
+            return
+        if target.engine is not self.engine:
+            self.fail(SimulationError("yielded event belongs to another engine"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,127 @@
+"""Capacity-limited resources with FIFO queueing.
+
+Devices, network links, and CPU cores are modelled as resources: a request
+is granted when a slot frees up, in arrival order.  Service time is imposed
+by the holder (request -> timeout -> release), for which :meth:`Resource.use`
+provides the common pattern.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from collections.abc import Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Request(Event):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.engine)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` interchangeable slots, granted first-come first-served."""
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._queue: deque[Request] = deque()
+        self._users: set[Request] = set()
+        # Utilization accounting.
+        self._busy_time = 0.0
+        self._last_change = engine.now
+        self._last_users = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def busy_seconds(self) -> float:
+        """Aggregate slot-seconds of service delivered so far."""
+        self._account()
+        return self._busy_time
+
+    def _account(self) -> None:
+        """Settle busy-time up to now; callers must re-sync ``_last_users``
+        after mutating the user set."""
+        now = self.engine.now
+        self._busy_time += self._last_users * (now - self._last_change)
+        self._last_change = now
+        self._last_users = len(self._users)
+
+    # ------------------------------------------------------------------
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the claim is granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._account()
+            self._users.add(req)
+            self._last_users = len(self._users)
+            req.succeed(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self._users:
+            raise SimulationError(
+                f"release of a request that does not hold {self.name or 'resource'}"
+            )
+        self._account()
+        self._users.remove(request)
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+        self._last_users = len(self._users)
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a request: releases it if granted, dequeues it if not."""
+        if request in self._users:
+            self.release(request)
+        else:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass  # never enqueued or already granted+released
+
+    def use(self, duration: float) -> Generator[Event, object, None]:
+        """Generator: hold one slot for ``duration`` virtual seconds.
+
+        Usage inside a process: ``yield from resource.use(t)``.  The slot
+        (or queue position) is given back even if the caller is aborted
+        while waiting for the grant.
+        """
+        req = self.request()
+        try:
+            yield req
+            yield self.engine.timeout(duration)
+        finally:
+            self.cancel(req)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name or id(self):#x} {self.in_use}/{self.capacity}"
+            f" queued={self.queue_length}>"
+        )

@@ -1,0 +1,222 @@
+"""Benefactor: contributes a node-local SSD partition to the aggregate store.
+
+A benefactor owns a slice of its node's SSD, stores chunks as individual
+extents (the paper stores them as individual files), and serves direct
+client connections for chunk data.  All payload bytes are real — reads
+return exactly what was written — while device and network time is charged
+through the simulation substrate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.cluster.node import Node
+from repro.errors import CapacityError, StoreError
+from repro.sim.events import Event
+from repro.store.chunk import CHUNK_SIZE
+from repro.util.recorder import MetricsRecorder
+
+
+class Benefactor:
+    """The per-node storage service of the aggregate NVM store."""
+
+    def __init__(
+        self,
+        node: Node,
+        *,
+        contribution: int | None = None,
+        chunk_size: int = CHUNK_SIZE,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        if node.ssd is None:
+            raise StoreError(f"{node.name} has no SSD to contribute")
+        self.node = node
+        self.ssd = node.ssd
+        self.chunk_size = chunk_size
+        self.metrics = metrics if metrics is not None else node.metrics
+        max_contribution = self.ssd.logical_capacity
+        self.contribution = (
+            contribution if contribution is not None else max_contribution
+        )
+        if not 0 < self.contribution <= max_contribution:
+            raise CapacityError(
+                f"{node.name}: contribution {self.contribution} exceeds SSD "
+                f"logical capacity {max_contribution}"
+            )
+        self._reserved = 0  # bytes promised to the manager
+        # Chunk payloads (real bytes) and their SSD extents.
+        self._data: dict[int, bytearray] = {}
+        self._extents: dict[int, int] = {}  # chunk_id -> ssd byte offset
+        self._free_extents: list[int] = list(
+            range(0, self.contribution - chunk_size + 1, chunk_size)
+        )
+        self._free_extents.reverse()  # pop() from low offsets first
+        self.online = True  # the manager's view (set via mark_offline)
+        self.crashed = False  # ground truth: the node is actually dead
+
+    @property
+    def name(self) -> str:
+        """The benefactor's (node) name."""
+        return self.node.name
+
+    @property
+    def reserved(self) -> int:
+        """Bytes of contribution currently promised to files."""
+        return self._reserved
+
+    @property
+    def available(self) -> int:
+        """Contribution bytes not yet reserved."""
+        return self.contribution - self._reserved
+
+    @property
+    def stored_chunks(self) -> int:
+        """Number of chunks with materialized data."""
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Space accounting (driven by the manager)
+    # ------------------------------------------------------------------
+    def reserve(self, nbytes: int) -> None:
+        """Promise ``nbytes`` of contribution to the manager."""
+        if nbytes < 0:
+            raise ValueError(f"negative reservation {nbytes}")
+        if self._reserved + nbytes > self.contribution:
+            raise CapacityError(
+                f"{self.name}: reservation of {nbytes} exceeds available "
+                f"{self.available}"
+            )
+        self._reserved += nbytes
+
+    def unreserve(self, nbytes: int) -> None:
+        """Return a prior promise."""
+        if nbytes < 0 or nbytes > self._reserved:
+            raise ValueError(
+                f"{self.name}: bad unreserve {nbytes} (reserved {self._reserved})"
+            )
+        self._reserved -= nbytes
+
+    # ------------------------------------------------------------------
+    # Chunk data service (driven by clients; all are process generators)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate the benefactor's node dying (fault-injection hook).
+
+        Data-path requests fail immediately; the manager's heartbeat
+        monitor (see :meth:`repro.store.manager.Manager.monitor`) will
+        notice and take the benefactor out of service.
+        """
+        self.crashed = True
+
+    def _check_online(self) -> None:
+        if self.crashed or not self.online:
+            from repro.errors import BenefactorDownError
+
+            raise BenefactorDownError(f"benefactor {self.name} is offline")
+
+    def _extent_of(self, chunk_id: int) -> int:
+        try:
+            return self._extents[chunk_id]
+        except KeyError:
+            raise StoreError(
+                f"{self.name}: chunk {chunk_id} has no extent"
+            ) from None
+
+    def _materialize(self, chunk_id: int) -> bytearray:
+        """Ensure the chunk has an extent and a (zero-filled) payload."""
+        if chunk_id not in self._data:
+            if not self._free_extents:
+                raise CapacityError(f"{self.name}: no free extents")
+            self._extents[chunk_id] = self._free_extents.pop()
+            self._data[chunk_id] = bytearray(self.chunk_size)
+        return self._data[chunk_id]
+
+    def has_chunk(self, chunk_id: int) -> bool:
+        """True when the chunk's payload is materialized here."""
+        return chunk_id in self._data
+
+    def store_chunk(
+        self, client: str, chunk_id: int, data: bytes, offset: int = 0
+    ) -> Generator[Event, object, None]:
+        """Receive ``data`` from ``client`` and write it at ``offset``
+        within the chunk.
+
+        Charges one network transfer (client -> benefactor) of the payload
+        plus the SSD write.  Partial writes are how NVMalloc's dirty-page
+        optimization reaches the device: only modified pages travel.
+        """
+        self._check_online()
+        if offset < 0 or offset + len(data) > self.chunk_size:
+            raise StoreError(
+                f"{self.name}: write [{offset}, {offset + len(data)}) outside "
+                f"chunk of {self.chunk_size}"
+            )
+        yield from self.node.network.transfer(client, self.name, len(data))
+        payload = self._materialize(chunk_id)
+        payload[offset : offset + len(data)] = data
+        yield from self.ssd.write_extent(self._extent_of(chunk_id) + offset, len(data))
+        self.metrics.add("store.benefactor.bytes_in", len(data))
+
+    def fetch_chunk(
+        self, client: str, chunk_id: int, offset: int = 0, length: int | None = None
+    ) -> Generator[Event, object, bytes]:
+        """Read chunk bytes and ship them to ``client``.
+
+        Unmaterialized chunks read as zeroes (space reservation creates no
+        data, matching ``posix_fallocate`` semantics).
+        """
+        self._check_online()
+        if length is None:
+            length = self.chunk_size - offset
+        if offset < 0 or offset + length > self.chunk_size:
+            raise StoreError(
+                f"{self.name}: read [{offset}, {offset + length}) outside "
+                f"chunk of {self.chunk_size}"
+            )
+        if chunk_id in self._data:
+            yield from self.ssd.read_extent(self._extent_of(chunk_id) + offset, length)
+            data = bytes(self._data[chunk_id][offset : offset + length])
+        else:
+            data = bytes(length)  # reserved-but-unwritten: zeroes, no device read
+        yield from self.node.network.transfer(self.name, client, len(data))
+        self.metrics.add("store.benefactor.bytes_out", len(data))
+        return data
+
+    def copy_chunk_local(
+        self, src_chunk_id: int, dst_chunk_id: int
+    ) -> Generator[Event, object, None]:
+        """Duplicate a chunk on this benefactor (COW support, no network)."""
+        self._check_online()
+        if src_chunk_id in self._data:
+            yield from self.ssd.read_extent(
+                self._extent_of(src_chunk_id), self.chunk_size
+            )
+            payload = self._materialize(dst_chunk_id)
+            payload[:] = self._data[src_chunk_id]
+            yield from self.ssd.write_extent(
+                self._extent_of(dst_chunk_id), self.chunk_size
+            )
+        # Copying a reserved-but-unwritten chunk leaves the copy unwritten.
+
+    def delete_chunk(self, chunk_id: int) -> None:
+        """Drop a chunk's data and recycle its extent (TRIMs the flash)."""
+        if chunk_id in self._data:
+            extent = self._extents.pop(chunk_id)
+            del self._data[chunk_id]
+            self.ssd.trim_extent(extent, self.chunk_size)
+            self._free_extents.append(extent)
+
+    # ------------------------------------------------------------------
+    # Testing/verification access (not part of the service protocol)
+    # ------------------------------------------------------------------
+    def peek(self, chunk_id: int) -> bytes | None:
+        """The raw stored payload, for invariant checks in tests."""
+        data = self._data.get(chunk_id)
+        return bytes(data) if data is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Benefactor {self.name} reserved={self._reserved}/{self.contribution}"
+            f" chunks={len(self._data)}>"
+        )

@@ -1,0 +1,181 @@
+"""Store client: per-node access point to the aggregate NVM store.
+
+Splits byte ranges into chunk pieces, resolves each chunk's benefactor via
+the manager (with a chunk-map cache so steady-state accesses skip the
+metadata round trip), and moves payload directly to/from benefactors.
+Copy-on-write for checkpoint-shared chunks happens transparently on the
+write path (paper §III-E).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.cluster.node import Node
+from repro.sim.events import Event
+from repro.store.benefactor import Benefactor
+from repro.store.manager import FileMeta, Manager
+from repro.util.recorder import MetricsRecorder
+
+
+class StoreClient:
+    """Client-side protocol endpoint for one compute node."""
+
+    def __init__(
+        self,
+        node: Node,
+        manager: Manager,
+        *,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        self.node = node
+        self.manager = manager
+        self.chunk_size = manager.chunk_size
+        self.metrics = metrics if metrics is not None else node.metrics
+        # (file, generation) -> {index: (chunk_id, benefactor)}
+        self._map_cache: dict[str, tuple[int, dict[int, tuple[int, Benefactor]]]] = {}
+
+    @property
+    def client_name(self) -> str:
+        """The compute node this client runs on."""
+        return self.node.name
+
+    # ------------------------------------------------------------------
+    # Metadata operations
+    # ------------------------------------------------------------------
+    def create(self, name: str, size: int) -> Generator[Event, object, FileMeta]:
+        """Create a logical file of ``size`` bytes (space reservation only)."""
+        yield from self.manager.rpc(self.client_name)
+        return self.manager.create_file(name, size, client=self.client_name)
+
+    def open(self, name: str) -> Generator[Event, object, FileMeta]:
+        """Look up an existing logical file."""
+        yield from self.manager.rpc(self.client_name)
+        return self.manager.lookup(name)
+
+    def delete(self, name: str) -> Generator[Event, object, None]:
+        """Delete a logical file (chunks freed when unshared)."""
+        yield from self.manager.rpc(self.client_name)
+        self.manager.delete_file(name)
+        self._map_cache.pop(name, None)
+
+    def file_size(self, name: str) -> int:
+        """Logical size of a store file in bytes."""
+        return self.manager.lookup(name).size
+
+    # ------------------------------------------------------------------
+    # Chunk resolution with map caching
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, name: str, index: int
+    ) -> Generator[Event, object, tuple[int, Benefactor]]:
+        meta = self.manager.lookup(name)
+        cached = self._map_cache.get(name)
+        if cached is None or cached[0] != meta.generation:
+            # Cold or invalidated map: one metadata round trip refreshes it.
+            yield from self.manager.rpc(self.client_name)
+            cached = (meta.generation, {})
+            self._map_cache[name] = cached
+        mapping = cached[1]
+        if index not in mapping:
+            mapping[index] = self.manager.resolve_chunk(name, index)
+        return mapping[index]
+
+    def _pieces(self, offset: int, length: int) -> list[tuple[int, int, int]]:
+        """Split ``[offset, offset+length)`` into (chunk_index, chunk_offset,
+        piece_length) runs."""
+        pieces: list[tuple[int, int, int]] = []
+        cursor = offset
+        end = offset + length
+        while cursor < end:
+            index = cursor // self.chunk_size
+            chunk_off = cursor - index * self.chunk_size
+            piece = min(self.chunk_size - chunk_off, end - cursor)
+            pieces.append((index, chunk_off, piece))
+            cursor += piece
+        return pieces
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def read(
+        self, name: str, offset: int, length: int
+    ) -> Generator[Event, object, bytes]:
+        """Read ``length`` bytes at ``offset`` from a logical file."""
+        self._check_range(name, offset, length)
+        parts: list[bytes] = []
+        for index, chunk_off, piece in self._pieces(offset, length):
+            chunk_id, benefactor = yield from self._resolve(name, index)
+            data = yield from benefactor.fetch_chunk(
+                self.client_name, chunk_id, chunk_off, piece
+            )
+            parts.append(data)
+        self.metrics.add("store.client.bytes_read", length)
+        return b"".join(parts)
+
+    def read_chunk(self, name: str, index: int) -> Generator[Event, object, bytes]:
+        """Read one whole chunk (the FUSE layer's fetch granularity)."""
+        chunk_id, benefactor = yield from self._resolve(name, index)
+        meta = self.manager.lookup(name)
+        length = min(self.chunk_size, meta.size - index * self.chunk_size)
+        data = yield from benefactor.fetch_chunk(
+            self.client_name, chunk_id, 0, length
+        )
+        self.metrics.add("store.client.bytes_read", length)
+        return data
+
+    def write(
+        self, name: str, offset: int, data: bytes
+    ) -> Generator[Event, object, None]:
+        """Write ``data`` at ``offset``, copy-on-write-ing shared chunks."""
+        self._check_range(name, offset, len(data))
+        cursor = 0
+        for index, chunk_off, piece in self._pieces(offset, len(data)):
+            yield from self.write_chunk_ranges(
+                name, index, [(chunk_off, data[cursor : cursor + piece])]
+            )
+            cursor += piece
+
+    def write_chunk_ranges(
+        self, name: str, index: int, ranges: list[tuple[int, bytes]]
+    ) -> Generator[Event, object, None]:
+        """Write byte ranges within one chunk (dirty-page flush granularity).
+
+        ``ranges`` is a list of ``(offset_in_chunk, payload)``.  If the
+        chunk is shared with a checkpoint file, a COW replacement is
+        created first so the checkpoint's view stays frozen.
+        """
+        chunk_id, benefactor = yield from self._resolve(name, index)
+        if self.manager.chunk_refcount(chunk_id) > 1:
+            yield from self.manager.rpc(self.client_name)
+            old_id, new_id, owner = self.manager.cow_chunk(name, index)
+            yield from owner.copy_chunk_local(old_id, new_id)
+            # We initiated the COW, so our map stays warm at the new
+            # generation; other sharers will refresh on their next access.
+            meta = self.manager.lookup(name)
+            cached = self._map_cache.get(name)
+            mapping = dict(cached[1]) if cached is not None else {}
+            mapping[index] = (new_id, owner)
+            self._map_cache[name] = (meta.generation, mapping)
+            chunk_id, benefactor = new_id, owner
+        total = 0
+        for chunk_off, payload in ranges:
+            yield from benefactor.store_chunk(
+                self.client_name, chunk_id, payload, chunk_off
+            )
+            total += len(payload)
+        self.metrics.add("store.client.bytes_written", total)
+
+    # ------------------------------------------------------------------
+    def _check_range(self, name: str, offset: int, length: int) -> None:
+        meta = self.manager.lookup(name)
+        if offset < 0 or length < 0 or offset + length > meta.size:
+            from repro.errors import StoreError
+
+            raise StoreError(
+                f"range [{offset}, {offset + length}) outside {name!r} "
+                f"of size {meta.size}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<StoreClient {self.client_name} -> {self.manager.name}>"

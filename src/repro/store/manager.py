@@ -1,0 +1,328 @@
+"""Manager: the metadata brain of the aggregate NVM store.
+
+Tracks benefactors and logical files, performs space allocation and chunk
+striping at file-creation time (a pure reservation — ``posix_fallocate``
+semantics, no data transfer), resolves chunk locations for clients, and
+reference-counts chunks so that checkpoint files can *link* the chunks of
+memory-mapped variables instead of copying them (paper §III-E).  When a
+linked chunk is subsequently modified, the write path asks the manager for
+a copy-on-write replacement, preserving the checkpoint's frozen view.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Node
+from repro.errors import (
+    BenefactorDownError,
+    ChunkNotFoundError,
+    FileExistsInStoreError,
+    FileNotFoundInStoreError,
+    StoreError,
+)
+from repro.sim.events import Event
+from repro.store.benefactor import Benefactor
+from repro.store.chunk import CHUNK_SIZE, CONTROL_MESSAGE_BYTES, chunk_count
+from repro.store.striping import RoundRobinStriping, StripingPolicy
+from repro.util.recorder import MetricsRecorder
+
+
+@dataclass
+class FileMeta:
+    """Metadata for one logical file in the aggregate store."""
+
+    name: str
+    size: int
+    chunk_ids: list[int] = field(default_factory=list)
+    # Bumped whenever the chunk map changes (COW); clients use it to
+    # invalidate their cached maps, modelling lease/callback invalidation.
+    generation: int = 0
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks backing the file."""
+        return len(self.chunk_ids)
+
+
+class Manager:
+    """Aggregate-store coordinator, hosted on one cluster node.
+
+    Control traffic (create/resolve/link/delete) crosses the network as
+    small RPC messages; chunk payloads never pass through the manager —
+    clients connect to benefactors directly, as in the paper.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        *,
+        chunk_size: int = CHUNK_SIZE,
+        striping: StripingPolicy | None = None,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        self.node = node
+        self.chunk_size = chunk_size
+        self.striping = striping if striping is not None else RoundRobinStriping()
+        self.metrics = metrics if metrics is not None else node.metrics
+        self._benefactors: dict[str, Benefactor] = {}
+        self._files: dict[str, FileMeta] = {}
+        self._chunk_ids = itertools.count(1)
+        self._chunk_owner: dict[int, Benefactor] = {}
+        self._chunk_refs: dict[int, int] = {}
+
+    @property
+    def name(self) -> str:
+        """The node hosting the manager."""
+        return self.node.name
+
+    # ------------------------------------------------------------------
+    # Benefactor registry and monitoring
+    # ------------------------------------------------------------------
+    def register_benefactor(self, benefactor: Benefactor) -> None:
+        """Add a benefactor to the aggregate store."""
+        if benefactor.name in self._benefactors:
+            raise StoreError(f"benefactor {benefactor.name} already registered")
+        self._benefactors[benefactor.name] = benefactor
+
+    def benefactors(self) -> list[Benefactor]:
+        """All registered benefactors."""
+        return list(self._benefactors.values())
+
+    def online_benefactors(self) -> list[Benefactor]:
+        """Benefactors currently in service."""
+        return [b for b in self._benefactors.values() if b.online]
+
+    def mark_offline(self, name: str) -> None:
+        """Benefactor status monitoring: take a benefactor out of service."""
+        self._benefactor(name).online = False
+
+    def mark_online(self, name: str) -> None:
+        """Return a benefactor to service."""
+        self._benefactor(name).online = True
+
+    def _benefactor(self, name: str) -> Benefactor:
+        try:
+            return self._benefactors[name]
+        except KeyError:
+            raise StoreError(f"unknown benefactor {name!r}") from None
+
+    def monitor(
+        self, interval: float, *, rounds: int | None = None
+    ) -> Generator[Event, object, int]:
+        """Benefactor status monitoring (paper §II): a heartbeat process.
+
+        Every ``interval`` virtual seconds, pings each in-service
+        benefactor with a control message; crashed benefactors are taken
+        out of service so chunk resolution fails fast and new allocations
+        avoid them.  Runs ``rounds`` times (forever when ``None``; spawn
+        via ``engine.process`` and stop with ``Process.interrupt``).
+        Returns the number of benefactors it marked offline.
+        """
+        marked = 0
+        count = 0
+        while rounds is None or count < rounds:
+            yield self.node.engine.timeout(interval)
+            count += 1
+            for benefactor in list(self._benefactors.values()):
+                if not benefactor.online:
+                    continue
+                yield from self.node.network.transfer(
+                    self.name, benefactor.name, CONTROL_MESSAGE_BYTES
+                )
+                if benefactor.crashed:
+                    self.mark_offline(benefactor.name)
+                    marked += 1
+                    self.metrics.add("store.manager.benefactors_failed")
+                else:
+                    yield from self.node.network.transfer(
+                        benefactor.name, self.name, CONTROL_MESSAGE_BYTES
+                    )
+        return marked
+
+    def total_capacity(self) -> int:
+        """Sum of all contributions in bytes."""
+        return sum(b.contribution for b in self._benefactors.values())
+
+    def total_available(self) -> int:
+        """Unreserved bytes across online benefactors."""
+        return sum(b.available for b in self.online_benefactors())
+
+    # ------------------------------------------------------------------
+    # RPC cost helper
+    # ------------------------------------------------------------------
+    def rpc(self, client: str) -> Generator[Event, object, None]:
+        """Process generator: one control round trip client <-> manager."""
+        yield from self.node.network.transfer(client, self.name, CONTROL_MESSAGE_BYTES)
+        yield from self.node.network.transfer(self.name, client, CONTROL_MESSAGE_BYTES)
+        self.metrics.add("store.manager.rpcs")
+
+    # ------------------------------------------------------------------
+    # File lifecycle (metadata-only; callers charge rpc() separately so
+    # batched operations don't double-pay)
+    # ------------------------------------------------------------------
+    def create_file(self, name: str, size: int, *, client: str) -> FileMeta:
+        """Create a logical file: pick benefactors, reserve space.
+
+        No data moves; chunks materialize on first write (the paper's
+        ``posix_fallocate`` space reservation).
+        """
+        if name in self._files:
+            raise FileExistsInStoreError(f"file {name!r} already exists")
+        if size < 0:
+            raise StoreError(f"negative file size {size}")
+        num_chunks = chunk_count(size, self.chunk_size)
+        placement = self.striping.place(
+            self.online_benefactors(), num_chunks, self.chunk_size, client
+        )
+        meta = FileMeta(name=name, size=size)
+        for benefactor in placement:
+            benefactor.reserve(self.chunk_size)
+            chunk_id = next(self._chunk_ids)
+            self._chunk_owner[chunk_id] = benefactor
+            self._chunk_refs[chunk_id] = 1
+            meta.chunk_ids.append(chunk_id)
+        self._files[name] = meta
+        self.metrics.add("store.manager.files_created")
+        return meta
+
+    def extend_file(self, name: str, nbytes: int, *, client: str) -> int:
+        """Append ``nbytes`` of freshly reserved space to a file.
+
+        The new region starts on a chunk boundary (the previous size is
+        padded); returns its byte offset.  Used by ``ssdcheckpoint`` to
+        lay out checkpoint sections in a caller-chosen order.
+        """
+        meta = self.lookup(name)
+        if nbytes < 0:
+            raise StoreError(f"negative extension {nbytes}")
+        offset = meta.num_chunks * self.chunk_size
+        num_chunks = chunk_count(nbytes, self.chunk_size)
+        placement = self.striping.place(
+            self.online_benefactors(), num_chunks, self.chunk_size, client
+        )
+        for benefactor in placement:
+            benefactor.reserve(self.chunk_size)
+            chunk_id = next(self._chunk_ids)
+            self._chunk_owner[chunk_id] = benefactor
+            self._chunk_refs[chunk_id] = 1
+            meta.chunk_ids.append(chunk_id)
+        meta.size = offset + nbytes
+        return offset
+
+    def lookup(self, name: str) -> FileMeta:
+        """Metadata of file ``name`` (raises FileNotFoundInStoreError)."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundInStoreError(f"no such file {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        """True when the store holds a file called ``name``."""
+        return name in self._files
+
+    def resolve_chunk(self, name: str, index: int) -> tuple[int, Benefactor]:
+        """Which benefactor stores chunk ``index`` of file ``name``."""
+        meta = self.lookup(name)
+        if not 0 <= index < meta.num_chunks:
+            raise ChunkNotFoundError(
+                f"{name!r} has {meta.num_chunks} chunks, no index {index}"
+            )
+        chunk_id = meta.chunk_ids[index]
+        owner = self._chunk_owner[chunk_id]
+        if not owner.online:
+            raise BenefactorDownError(
+                f"chunk {chunk_id} of {name!r} lives on offline benefactor "
+                f"{owner.name}"
+            )
+        return chunk_id, owner
+
+    def chunk_refcount(self, chunk_id: int) -> int:
+        """How many files reference this chunk."""
+        try:
+            return self._chunk_refs[chunk_id]
+        except KeyError:
+            raise ChunkNotFoundError(f"unknown chunk {chunk_id}") from None
+
+    def chunk_owner(self, chunk_id: int) -> Benefactor:
+        """The benefactor storing this chunk."""
+        try:
+            return self._chunk_owner[chunk_id]
+        except KeyError:
+            raise ChunkNotFoundError(f"unknown chunk {chunk_id}") from None
+
+    def delete_file(self, name: str) -> None:
+        """Drop a file; chunks are freed when their refcount reaches zero."""
+        meta = self.lookup(name)
+        for chunk_id in meta.chunk_ids:
+            self._release_chunk(chunk_id)
+        del self._files[name]
+        self.metrics.add("store.manager.files_deleted")
+
+    def _release_chunk(self, chunk_id: int) -> None:
+        self._chunk_refs[chunk_id] -= 1
+        if self._chunk_refs[chunk_id] == 0:
+            owner = self._chunk_owner.pop(chunk_id)
+            del self._chunk_refs[chunk_id]
+            owner.delete_chunk(chunk_id)
+            owner.unreserve(self.chunk_size)
+
+    # ------------------------------------------------------------------
+    # Checkpoint linking and copy-on-write (paper §III-E)
+    # ------------------------------------------------------------------
+    def link_chunks(self, dst_name: str, src_name: str) -> None:
+        """Append ``src``'s chunks to ``dst`` by reference (no data copied).
+
+        Used by ``ssdcheckpoint``: the checkpoint file reuses the
+        NVM-resident chunks of the memory-mapped variable.
+        """
+        dst = self.lookup(dst_name)
+        src = self.lookup(src_name)
+        # Linked chunks start on a chunk boundary: pad the destination's
+        # logical size so section offsets stay chunk-aligned.
+        dst.size = dst.num_chunks * self.chunk_size
+        for chunk_id in src.chunk_ids:
+            self._chunk_refs[chunk_id] += 1
+            dst.chunk_ids.append(chunk_id)
+        dst.size += src.size
+        self.metrics.add("store.manager.chunks_linked", src.num_chunks)
+
+    def is_shared(self, name: str, index: int) -> bool:
+        """True when chunk ``index`` of ``name`` is shared with another file."""
+        meta = self.lookup(name)
+        return self._chunk_refs[meta.chunk_ids[index]] > 1
+
+    def cow_chunk(self, name: str, index: int) -> tuple[int, int, Benefactor]:
+        """Prepare a copy-on-write replacement for a shared chunk.
+
+        Allocates a fresh chunk id on the same benefactor, rebinds the
+        file's map to it, and drops one reference from the original.
+        Returns ``(old_chunk_id, new_chunk_id, benefactor)``; the caller is
+        responsible for copying payload (e.g. via
+        :meth:`Benefactor.copy_chunk_local`) before writing, and for
+        charging the RPC.
+        """
+        meta = self.lookup(name)
+        old_id = meta.chunk_ids[index]
+        if self._chunk_refs[old_id] <= 1:
+            raise StoreError(
+                f"chunk {old_id} of {name!r} is not shared; COW is unnecessary"
+            )
+        owner = self._chunk_owner[old_id]
+        owner.reserve(self.chunk_size)
+        new_id = next(self._chunk_ids)
+        self._chunk_owner[new_id] = owner
+        self._chunk_refs[new_id] = 1
+        meta.chunk_ids[index] = new_id
+        self._chunk_refs[old_id] -= 1
+        meta.generation += 1
+        self.metrics.add("store.manager.cow_chunks")
+        return old_id, new_id, owner
+
+    def __repr__(self) -> str:
+        return (
+            f"<Manager on {self.name} files={len(self._files)} "
+            f"benefactors={len(self._benefactors)}>"
+        )

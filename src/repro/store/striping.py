@@ -1,0 +1,92 @@
+"""Chunk placement policies.
+
+The manager stripes a new file's chunks across benefactors.  Round-robin is
+the paper's default; local-first prefers a benefactor co-located with the
+requesting client (the L-SSD configurations), falling back to round-robin
+for chunks beyond the local contribution.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import StoreError
+from repro.store.benefactor import Benefactor
+
+
+class StripingPolicy(abc.ABC):
+    """Chooses a benefactor for each chunk of a new file."""
+
+    @abc.abstractmethod
+    def place(
+        self,
+        benefactors: list[Benefactor],
+        num_chunks: int,
+        chunk_size: int,
+        client: str,
+    ) -> list[Benefactor]:
+        """A benefactor per chunk index, honouring available space."""
+
+
+def _spread(
+    candidates: list[Benefactor], num_chunks: int, chunk_size: int
+) -> list[Benefactor]:
+    """Round-robin over ``candidates``, skipping full benefactors."""
+    budgets = {b.name: b.available // chunk_size for b in candidates}
+    placement: list[Benefactor] = []
+    cursor = 0
+    for _ in range(num_chunks):
+        for _attempt in range(len(candidates)):
+            benefactor = candidates[cursor % len(candidates)]
+            cursor += 1
+            if budgets[benefactor.name] > 0:
+                budgets[benefactor.name] -= 1
+                placement.append(benefactor)
+                break
+        else:
+            raise StoreError(
+                f"aggregate store full: cannot place chunk {len(placement)} "
+                f"of {num_chunks}"
+            )
+    return placement
+
+
+class RoundRobinStriping(StripingPolicy):
+    """Stripe chunks across all online benefactors in turn."""
+
+    def place(
+        self,
+        benefactors: list[Benefactor],
+        num_chunks: int,
+        chunk_size: int,
+        client: str,
+    ) -> list[Benefactor]:
+        online = [b for b in benefactors if b.online]
+        if not online:
+            raise StoreError("no online benefactors")
+        return _spread(online, num_chunks, chunk_size)
+
+
+class LocalFirstStriping(StripingPolicy):
+    """Place as much as possible on the client's own node, then spread."""
+
+    def place(
+        self,
+        benefactors: list[Benefactor],
+        num_chunks: int,
+        chunk_size: int,
+        client: str,
+    ) -> list[Benefactor]:
+        online = [b for b in benefactors if b.online]
+        if not online:
+            raise StoreError("no online benefactors")
+        local = [b for b in online if b.name == client]
+        placement: list[Benefactor] = []
+        if local:
+            budget = local[0].available // chunk_size
+            placement.extend(local[0] for _ in range(min(budget, num_chunks)))
+        remaining = num_chunks - len(placement)
+        if remaining:
+            others = [b for b in online if b.name != client] or online
+            placement.extend(_spread(others, remaining, chunk_size))
+        return placement

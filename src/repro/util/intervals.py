@@ -1,0 +1,152 @@
+"""Half-open integer interval sets.
+
+Used for dirty-byte tracking inside cached chunks and for free-extent
+accounting.  Intervals are ``[start, stop)`` with ``start < stop``; the set
+keeps them sorted, disjoint, and coalesced.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+
+
+class IntervalSet:
+    """A mutable set of disjoint half-open integer intervals.
+
+    Supports union (``add``), subtraction (``discard``), intersection
+    queries, and total-length accounting.  All operations keep the internal
+    representation sorted and coalesced, so iteration yields canonical
+    intervals.
+    """
+
+    __slots__ = ("_starts", "_stops")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        self._starts: list[int] = []
+        self._stops: list[int] = []
+        for start, stop in intervals:
+            self.add(start, stop)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, start: int, stop: int) -> None:
+        """Union ``[start, stop)`` into the set (no-op when empty)."""
+        if start > stop:
+            raise ValueError(f"invalid interval [{start}, {stop})")
+        if start == stop:
+            return
+        # Find the window of existing intervals that touch [start, stop).
+        # An interval touches if existing.stop >= start and
+        # existing.start <= stop (adjacent intervals coalesce).
+        lo = bisect.bisect_left(self._stops, start)
+        hi = bisect.bisect_right(self._starts, stop)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            stop = max(stop, self._stops[hi - 1])
+        self._starts[lo:hi] = [start]
+        self._stops[lo:hi] = [stop]
+
+    def discard(self, start: int, stop: int) -> None:
+        """Subtract ``[start, stop)`` from the set."""
+        if start > stop:
+            raise ValueError(f"invalid interval [{start}, {stop})")
+        if start == stop or not self._starts:
+            return
+        # Overlapping (strictly, not merely adjacent) intervals.
+        lo = bisect.bisect_right(self._stops, start)
+        hi = bisect.bisect_left(self._starts, stop)
+        if lo >= hi:
+            return
+        new_starts: list[int] = []
+        new_stops: list[int] = []
+        if self._starts[lo] < start:
+            new_starts.append(self._starts[lo])
+            new_stops.append(start)
+        if self._stops[hi - 1] > stop:
+            new_starts.append(stop)
+            new_stops.append(self._stops[hi - 1])
+        self._starts[lo:hi] = new_starts
+        self._stops[lo:hi] = new_stops
+
+    def clear(self) -> None:
+        """Remove all intervals."""
+        self._starts.clear()
+        self._stops.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(zip(self._starts, self._stops))
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._stops == other._stops
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"[{a}, {b})" for a, b in self)
+        return f"IntervalSet({spans})"
+
+    def total(self) -> int:
+        """Total number of integers covered."""
+        return sum(b - a for a, b in self)
+
+    def contains(self, point: int) -> bool:
+        """True when ``point`` lies inside some interval."""
+        idx = bisect.bisect_right(self._starts, point) - 1
+        return idx >= 0 and point < self._stops[idx]
+
+    def overlaps(self, start: int, stop: int) -> bool:
+        """True when ``[start, stop)`` intersects the set."""
+        if start >= stop:
+            return False
+        lo = bisect.bisect_right(self._stops, start)
+        return lo < len(self._starts) and self._starts[lo] < stop
+
+    def intersection(self, start: int, stop: int) -> list[tuple[int, int]]:
+        """The parts of ``[start, stop)`` covered by the set, in order."""
+        result: list[tuple[int, int]] = []
+        if start >= stop:
+            return result
+        lo = bisect.bisect_right(self._stops, start)
+        for i in range(lo, len(self._starts)):
+            a, b = self._starts[i], self._stops[i]
+            if a >= stop:
+                break
+            result.append((max(a, start), min(b, stop)))
+        return result
+
+    def gaps(self, start: int, stop: int) -> list[tuple[int, int]]:
+        """The parts of ``[start, stop)`` NOT covered by the set, in order."""
+        result: list[tuple[int, int]] = []
+        cursor = start
+        for a, b in self.intersection(start, stop):
+            if a > cursor:
+                result.append((cursor, a))
+            cursor = b
+        if cursor < stop:
+            result.append((cursor, stop))
+        return result
+
+    def covers(self, start: int, stop: int) -> bool:
+        """True when every point of ``[start, stop)`` is in the set."""
+        if start >= stop:
+            return True
+        inner = self.intersection(start, stop)
+        return len(inner) == 1 and inner[0] == (start, stop)
+
+    def copy(self) -> "IntervalSet":
+        """A deep copy of this set."""
+        clone = IntervalSet()
+        clone._starts = list(self._starts)
+        clone._stops = list(self._stops)
+        return clone

@@ -1,0 +1,106 @@
+"""Lightweight metric collection.
+
+Every layer of the stack (devices, links, caches, store) accounts its
+traffic through a shared :class:`MetricsRecorder` so that experiments can
+report the paper's Table IV / Table VII style byte-flow numbers without
+instrumenting call sites twice.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing value with an operation count."""
+
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Add ``amount`` and bump the operation count."""
+        self.total += amount
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Average amount per operation (0 when untouched)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped samples of a scalar metric."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Record one timestamped sample."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> float:
+        """The most recent sample's value."""
+        if not self.values:
+            raise IndexError("empty time series")
+        return self.values[-1]
+
+
+class MetricsRecorder:
+    """Namespace of named counters and time series.
+
+    Counter names use dotted paths, e.g. ``"fuse.read.bytes_from_store"``.
+    Unknown names spring into existence on first use, so call sites never
+    need registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = defaultdict(Counter)
+        self._series: dict[str, TimeSeries] = defaultdict(TimeSeries)
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on demand)."""
+        return self._counters[name]
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name].add(amount)
+
+    def value(self, name: str) -> float:
+        """Current total of counter ``name`` (0 when never touched)."""
+        if name in self._counters:
+            return self._counters[name].total
+        return 0.0
+
+    def count(self, name: str) -> int:
+        """Operation count of counter ``name``."""
+        if name in self._counters:
+            return self._counters[name].count
+        return 0
+
+    def sample(self, name: str, time: float, value: float) -> None:
+        """Append a timestamped sample to series ``name``."""
+        self._series[name].append(time, value)
+
+    def series(self, name: str) -> TimeSeries:
+        """The time series registered under ``name``."""
+        return self._series[name]
+
+    def snapshot(self, prefix: str = "") -> dict[str, float]:
+        """All counter totals whose names start with ``prefix``."""
+        return {
+            name: counter.total
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        """Drop all counters and series."""
+        self._counters.clear()
+        self._series.clear()

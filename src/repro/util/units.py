@@ -1,0 +1,103 @@
+"""Byte-size units and human-readable formatting.
+
+The paper mixes decimal vendor units (MB/s device bandwidth, Table I) and
+binary software units (256 KB chunks, 4 KB pages, 64 MB cache).  We expose
+both and keep the distinction explicit: ``KiB``-family constants are binary,
+``KB``-family are decimal.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Binary (software) units -- chunk/page/cache sizes.
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+# Decimal (vendor) units -- device bandwidths and capacities in Table I.
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+TB: int = 1000 * GB
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(B|KB|MB|GB|TB|KiB|MiB|GiB|TiB)?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_FACTORS = {
+    None: 1,
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size like ``"256KiB"`` or ``"1.5GB"`` into bytes.
+
+    Integers pass through unchanged.  Raises :class:`ValueError` for
+    malformed input or negative values.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2)
+    factor = _UNIT_FACTORS[unit.lower() if unit else None]
+    result = value * factor
+    if result != int(result):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def format_size(nbytes: float, *, binary: bool = True) -> str:
+    """Render a byte count with an appropriate unit suffix."""
+    if nbytes < 0:
+        return "-" + format_size(-nbytes, binary=binary)
+    step = 1024.0 if binary else 1000.0
+    suffixes = (
+        ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+        if binary
+        else ["B", "KB", "MB", "GB", "TB", "PB"]
+    )
+    value = float(nbytes)
+    for suffix in suffixes:
+        if value < step or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{int(value)}{suffix}"
+            return f"{value:.2f}{suffix}"
+        value /= step
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth in decimal vendor units (matching Table I)."""
+    return format_size(bytes_per_second, binary=False) + "/s"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an appropriate unit (ns .. s)."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"

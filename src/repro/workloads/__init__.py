@@ -1,0 +1,64 @@
+"""Evaluation workloads (paper §IV).
+
+- :mod:`repro.workloads.stream` — STREAM vector kernels (Fig. 2, Table III);
+- :mod:`repro.workloads.matmul` — MPI dense matrix multiplication with loop
+  tiling (Figs. 3-6, Tables IV-V);
+- :mod:`repro.workloads.quicksort` — MPI parallel sort, hybrid DRAM+NVM
+  one-pass vs DRAM-only two-pass through the PFS (Table VI);
+- :mod:`repro.workloads.randwrite` — random-write synthetic exercising the
+  dirty-page write optimization (Table VII);
+- :mod:`repro.workloads.checkpoint_wl` — iterative compute/checkpoint app
+  exercising ``ssdcheckpoint`` linking, COW, and incremental behaviour.
+"""
+
+from repro.workloads.stream import (
+    StreamConfig,
+    StreamKernel,
+    StreamResult,
+    run_stream,
+)
+from repro.workloads.matmul import MatmulConfig, MatmulResult, run_matmul
+from repro.workloads.matmul_decomposed import (
+    DecomposedResult,
+    run_matmul_decomposed,
+)
+from repro.workloads.quicksort import SortConfig, SortResult, run_quicksort
+from repro.workloads.randwrite import RandWriteConfig, RandWriteResult, run_randwrite
+from repro.workloads.checkpoint_wl import (
+    CheckpointWorkloadConfig,
+    CheckpointWorkloadResult,
+    run_checkpoint_workload,
+)
+from repro.workloads.science_app import (
+    ScienceAppConfig,
+    ScienceAppResult,
+    run_science_app,
+)
+from repro.workloads.staging import StagingConfig, StagingResult, run_staging
+
+__all__ = [
+    "CheckpointWorkloadConfig",
+    "CheckpointWorkloadResult",
+    "DecomposedResult",
+    "MatmulConfig",
+    "MatmulResult",
+    "RandWriteConfig",
+    "RandWriteResult",
+    "ScienceAppConfig",
+    "ScienceAppResult",
+    "SortConfig",
+    "SortResult",
+    "StagingConfig",
+    "StagingResult",
+    "StreamConfig",
+    "StreamKernel",
+    "StreamResult",
+    "run_checkpoint_workload",
+    "run_matmul",
+    "run_matmul_decomposed",
+    "run_quicksort",
+    "run_randwrite",
+    "run_science_app",
+    "run_staging",
+    "run_stream",
+]

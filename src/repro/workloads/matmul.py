@@ -1,0 +1,424 @@
+"""MPI dense matrix multiplication with loop tiling (paper §IV-B.2).
+
+``C = A x B`` with n x n float64 matrices.  Execution follows the paper's
+five stages, each bracketed by barriers so stage times are comparable:
+
+1. ``input_a``   — master reads A from the PFS and scatters row blocks;
+2. ``input_b``   — master reads B from the PFS;
+3. ``bcast_b``   — B reaches every process: a DRAM copy per process
+   (DRAM mode), one NVM-store file per node (shared mmap mode, Fig. 4),
+   or one NVM file per process (individual mode);
+4. ``compute``   — tiled local multiply; B is accessed row-major or
+   column-major (Fig. 5, Table V);
+5. ``collect_c`` — master gathers C blocks and writes C to the PFS.
+
+A and C row-blocks live in DRAM (budget-reserved); only B's placement
+varies, exactly as in the evaluation.  Real bytes flow everywhere, so
+``verify=True`` checks the gathered product against ``A @ B``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.variable import Array, NVMArray
+from repro.errors import NVMallocError
+from repro.parallel.comm import RankContext
+from repro.parallel.job import Job
+from repro.pfs.pfs import ParallelFileSystem
+from repro.sim.events import Event
+
+#: Stage names in execution order (Fig. 3's stacked-bar segments).
+STAGES = ("input_a", "input_b", "bcast_b", "compute", "collect_c")
+
+
+@dataclass(frozen=True)
+class MatmulConfig:
+    """One MM run."""
+
+    n: int  # matrix dimension
+    tile: int = 64  # k-tile (rows of B consumed per step)
+    b_placement: str = "nvm"  # "dram" | "nvm"
+    shared_mmap: bool = True  # one B file per node vs per process
+    access_order: str = "row"  # "row" | "column" access to B
+    verify: bool = True
+    seed: int = 20120521  # IPDPS 2012 :-)
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.tile <= 0:
+            raise NVMallocError("n and tile must be positive")
+        if self.n % self.tile:
+            raise NVMallocError(f"tile {self.tile} must divide n {self.n}")
+        if self.b_placement not in ("dram", "nvm"):
+            raise NVMallocError(f"bad b_placement {self.b_placement!r}")
+        if self.access_order not in ("row", "column"):
+            raise NVMallocError(f"bad access_order {self.access_order!r}")
+
+    @property
+    def matrix_bytes(self) -> int:
+        """Bytes of one n x n float64 matrix."""
+        return self.n * self.n * 8
+
+
+@dataclass
+class MatmulResult:
+    """Stage breakdown and byte flows of one MM run."""
+
+    config: MatmulConfig
+    job_label: str
+    stage_times: dict[str, float] = field(default_factory=dict)
+    # Byte-flow deltas across the compute stage (Table IV):
+    # app accesses to B -> requests to FUSE -> transfers to/from SSD.
+    compute_flows: dict[str, float] = field(default_factory=dict)
+    verified: bool = False
+
+    @property
+    def total(self) -> float:
+        """Sum of all stage times."""
+        return sum(self.stage_times.values())
+
+    @property
+    def compute_time(self) -> float:
+        """Duration of the compute stage."""
+        return self.stage_times.get("compute", 0.0)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def _input_matrices(config: MatmulConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic input matrices (small values keep products exact)."""
+    rng = np.random.default_rng(config.seed)
+    a = rng.integers(-4, 5, size=(config.n, config.n)).astype(np.float64)
+    b = rng.integers(-4, 5, size=(config.n, config.n)).astype(np.float64)
+    return a, b
+
+
+def _bcast_group(
+    ctx: RankContext, data: object, group: list[int], tag: int
+) -> Generator[Event, object, object]:
+    """Binomial-tree broadcast restricted to ``group`` (root = group[0]).
+
+    Used to distribute B to node leaders only in shared-mmap mode, which
+    is where the shared mode's broadcast savings come from.
+    """
+    if ctx.rank not in group:
+        return None
+    pos = group.index(ctx.rank)
+    size = len(group)
+    received = data if pos == 0 else None
+    mask = 1
+    while mask < size:
+        if pos & mask:
+            received = yield from ctx.recv(source=group[pos - mask], tag=tag)
+            break
+        mask <<= 1
+    if pos == 0:
+        mask = 1 << max(0, (size - 1).bit_length())
+    child = mask >> 1
+    while child:
+        if pos + child < size and not pos & child:
+            yield from ctx.send(received, dest=group[pos + child], tag=tag)
+        child >>= 1
+    return received
+
+
+def _distribute_b(
+    ctx: RankContext,
+    config: MatmulConfig,
+    leaders: list[int],
+    my_leader: int,
+    get_block,
+    *,
+    streaming: bool,
+) -> Generator[Event, object, Array]:
+    """Distribute B from the master to its per-placement destination.
+
+    ``get_block(r0)`` is a process generator yielding the master's block
+    of rows starting at ``r0`` (``None`` on other ranks).  In streaming
+    mode blocks are ``config.tile`` rows; otherwise the whole matrix
+    moves as one broadcast, as the paper's two-phase code does.
+    """
+    n = config.n
+    master = 0
+    block_rows = config.tile if streaming else n
+    shared = config.b_placement == "nvm" and config.shared_mmap
+    key = f"mm.B.{ctx.node.name}"
+    dest: Array | None = None
+    if config.b_placement == "dram":
+        dest = ctx.dram_array((n, n), np.float64)
+    elif shared:
+        if ctx.rank == my_leader:
+            assert ctx.nvmalloc is not None
+            dest = yield from ctx.nvmalloc.ssdmalloc_array(
+                (n, n), np.float64, owner=f"r{ctx.rank}", shared_key=key
+            )
+    else:
+        assert ctx.nvmalloc is not None
+        dest = yield from ctx.nvmalloc.ssdmalloc_array(
+            (n, n), np.float64, owner=f"r{ctx.rank}"
+        )
+    for r0 in range(0, n, block_rows):
+        block = yield from get_block(r0)
+        if shared:
+            if ctx.rank != my_leader:
+                continue  # non-leaders receive nothing
+            block = yield from _bcast_group(ctx, block, leaders, tag=20)
+        else:
+            block = yield from ctx.bcast(block, root=master)
+        assert isinstance(block, np.ndarray) and dest is not None
+        yield from dest.write_slice(
+            r0 * n, np.ascontiguousarray(block).ravel()
+        )
+    if isinstance(dest, NVMArray):
+        # B is write-once-read-many: push it out of the volatile caches
+        # so the NVM store holds it before compute begins.
+        yield from dest.variable.region.msync()
+    if shared:
+        yield from ctx.barrier()  # leaders finished populating
+        if ctx.rank != my_leader:
+            assert ctx.nvmalloc is not None
+            dest = yield from ctx.nvmalloc.ssdmalloc_array(
+                (n, n), np.float64, owner=f"r{ctx.rank}", shared_key=key
+            )
+    assert dest is not None
+    return dest
+
+
+class _ComputeFlowProbe:
+    """Snapshots the Table IV counters around the compute stage."""
+
+    COUNTERS = {
+        "app_to_b": "mmap.app_read.bytes",
+        "request_to_fuse": "pagecache.fault.bytes",
+        "request_to_ssd": "fuse.fetch.bytes",
+        "writeback_to_ssd": "fuse.writeback.bytes",
+    }
+
+    def __init__(self, metrics) -> None:
+        self.metrics = metrics
+        self._before: dict[str, float] = {}
+
+    def start(self) -> None:
+        """Snapshot the counters before the compute stage."""
+        self._before = {
+            key: self.metrics.value(name) for key, name in self.COUNTERS.items()
+        }
+
+    def stop(self) -> dict[str, float]:
+        """Counter deltas across the compute stage."""
+        return {
+            key: self.metrics.value(name) - self._before[key]
+            for key, name in self.COUNTERS.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# The per-rank program
+# ----------------------------------------------------------------------
+
+def _mm_rank(
+    ctx: RankContext,
+    job: Job,
+    config: MatmulConfig,
+    pfs: ParallelFileSystem,
+    a_true: np.ndarray,
+    b_true: np.ndarray,
+) -> Generator[Event, object, dict[str, object]]:
+    n = config.n
+    size = ctx.size
+    if n % size:
+        raise NVMallocError(f"ranks {size} must divide n {n}")
+    rows = n // size
+    row_bytes = n * 8
+    master = 0
+    procs_per_node = job.config.procs_per_node
+    leaders = list(range(0, size, procs_per_node))
+    my_leader = (ctx.rank // procs_per_node) * procs_per_node
+
+    stage_times: dict[str, float] = {}
+    flows: dict[str, float] = {}
+    probe = _ComputeFlowProbe(job.cluster.metrics)
+    mark = ctx.engine.now
+
+    def stage_end(name: str):
+        nonlocal mark
+        now = ctx.engine.now
+        stage_times[name] = now - mark
+        mark = now
+
+    # -- Stage 1: Input & Split A -------------------------------------
+    # A and C row blocks live in DRAM for the whole run; reserve them.
+    ctx.node.dram.allocate(2 * rows * row_bytes)
+    if ctx.rank == master:
+        a_local: np.ndarray | None = None
+        for dest in range(size):
+            block = yield from pfs.read(
+                ctx.node.name, "mm/A", dest * rows * row_bytes, rows * row_bytes
+            )
+            block_arr = np.frombuffer(block, dtype=np.float64).reshape(rows, n)
+            if dest == master:
+                a_local = block_arr
+            else:
+                yield from ctx.send(block_arr, dest=dest, tag=10)
+    else:
+        a_local = yield from ctx.recv(source=master, tag=10)
+    assert isinstance(a_local, np.ndarray)
+    yield from ctx.barrier()
+    stage_end("input_a")
+
+    # -- Stages 2+3: Input B, Broadcast B -------------------------------
+    # The paper's master reads all of B, then broadcasts it.  When B does
+    # not fit in the master's remaining DRAM (the Fig. 6 regime, 8 GB
+    # matrices on 8 GB nodes), input and broadcast are streamed in
+    # row-tile blocks instead; PFS-read time is attributed to Input-B
+    # and distribution time to Broadcast-B.
+    if ctx.rank == master:
+        staged = ctx.node.dram.available >= config.matrix_bytes
+    else:
+        staged = None
+    staged = yield from ctx.bcast(staged, root=master)
+    b_array: Array  # where compute will read B from
+    if staged:
+        b_full: np.ndarray | None = None
+        if ctx.rank == master:
+            ctx.node.dram.allocate(config.matrix_bytes)  # staging copy
+            raw = yield from pfs.read(
+                ctx.node.name, "mm/B", 0, config.matrix_bytes
+            )
+            b_full = np.frombuffer(raw, dtype=np.float64).reshape(n, n)
+        yield from ctx.barrier()
+        stage_end("input_b")
+
+        def staged_block(r0: int) -> Generator[Event, object, np.ndarray | None]:
+            return b_full  # whole matrix in one broadcast, as the paper
+            yield  # pragma: no cover - makes this a generator
+
+        b_array = yield from _distribute_b(
+            ctx, config, leaders, my_leader, staged_block, streaming=False
+        )
+        if ctx.rank == master:
+            ctx.node.dram.free(config.matrix_bytes)  # staging released
+            b_full = None
+        yield from ctx.barrier()
+        stage_end("bcast_b")
+    else:
+        read_time = 0.0
+
+        def read_block(r0: int) -> Generator[Event, object, np.ndarray | None]:
+            nonlocal read_time
+            if ctx.rank != master:
+                return None
+            t0 = ctx.engine.now
+            raw = yield from pfs.read(
+                ctx.node.name, "mm/B", r0 * n * 8, config.tile * n * 8
+            )
+            read_time += ctx.engine.now - t0
+            return np.frombuffer(raw, dtype=np.float64).reshape(config.tile, n)
+
+        b_array = yield from _distribute_b(
+            ctx, config, leaders, my_leader, read_block, streaming=True
+        )
+        yield from ctx.barrier()
+        now = ctx.engine.now
+        span = now - mark
+        mark = now
+        # The master knows the true input/broadcast split; other ranks
+        # overlapped with it and report zeros, so the driver's per-stage
+        # max recovers the master's split (which sums to the span).
+        if ctx.rank == master:
+            stage_times["input_b"] = read_time
+            stage_times["bcast_b"] = span - read_time
+        else:
+            stage_times["input_b"] = 0.0
+            stage_times["bcast_b"] = 0.0
+
+    # -- Stage 4: Compute (tiled) --------------------------------------
+    if ctx.rank == master:
+        probe.start()
+    c_local = np.zeros((rows, n), dtype=np.float64)
+    tile = config.tile
+    if config.access_order == "row":
+        # Stream B by k-tiles: each tile is one contiguous ranged read.
+        for k0 in range(0, n, tile):
+            b_tile = yield from b_array.read_rows(k0, k0 + tile)
+            yield from ctx.compute(2.0 * rows * tile * n)
+            c_local += a_local[:, k0 : k0 + tile] @ b_tile
+    else:
+        # Column-major: sweep column tiles of B; each gathers n short
+        # strided reads — the locality-hostile pattern of Fig. 5.
+        for c0 in range(0, n, tile):
+            b_cols = yield from b_array.read_block(0, n, c0, c0 + tile)
+            yield from ctx.compute(2.0 * rows * n * tile)
+            c_local[:, c0 : c0 + tile] = a_local @ b_cols
+    yield from ctx.barrier()
+    if ctx.rank == master:
+        flows = probe.stop()
+    stage_end("compute")
+
+    # -- Stage 5: Collect & Output C -----------------------------------
+    gathered = yield from ctx.gather(c_local, root=master)
+    verified = True
+    if ctx.rank == master:
+        assert gathered is not None
+        c_full = np.vstack([np.asarray(g) for g in gathered])
+        pfs.create("mm/C", config.matrix_bytes)
+        yield from pfs.write(ctx.node.name, "mm/C", 0, c_full.tobytes())
+        if config.verify:
+            verified = bool(np.array_equal(c_full, a_true @ b_true))
+    yield from ctx.barrier()
+    stage_end("collect_c")
+
+    # Teardown (not timed): release B and DRAM reservations.
+    if isinstance(b_array, NVMArray):
+        assert ctx.nvmalloc is not None
+        yield from ctx.nvmalloc.ssdfree(b_array.variable)
+    else:
+        b_array.free()  # type: ignore[union-attr]
+    ctx.node.dram.free(2 * rows * row_bytes)
+    return {
+        "stage_times": stage_times,
+        "flows": flows,
+        "verified": verified,
+        "rank": ctx.rank,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def run_matmul(
+    job: Job, pfs: ParallelFileSystem, config: MatmulConfig
+) -> MatmulResult:
+    """Stage inputs on the PFS, run all ranks, fold the results."""
+    a_true, b_true = _input_matrices(config)
+    if pfs.exists("mm/A"):
+        pfs.unlink("mm/A")
+    if pfs.exists("mm/B"):
+        pfs.unlink("mm/B")
+    if pfs.exists("mm/C"):
+        pfs.unlink("mm/C")
+    pfs.put_initial("mm/A", a_true.tobytes())
+    pfs.put_initial("mm/B", b_true.tobytes())
+
+    _, results = job.run(
+        lambda ctx: _mm_rank(ctx, job, config, pfs, a_true, b_true)
+    )
+    result = MatmulResult(config=config, job_label=job.config.label())
+    # Barriers align stage boundaries, so every rank reports identical
+    # stage durations; take the max defensively.
+    for stage in STAGES:
+        result.stage_times[stage] = max(
+            r["stage_times"][stage] for r in results  # type: ignore[index]
+        )
+    master = next(r for r in results if r["rank"] == 0)  # type: ignore[index]
+    result.compute_flows = dict(master["flows"])  # type: ignore[index]
+    # Logical accesses to B during compute: every rank sweeps all of B.
+    result.compute_flows.setdefault("app_to_b", 0.0)
+    result.verified = all(r["verified"] for r in results)  # type: ignore[index]
+    return result

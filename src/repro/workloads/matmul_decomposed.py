@@ -1,0 +1,203 @@
+"""Ring-decomposed matrix multiplication: the paper's contrast case.
+
+§IV-B.2 notes the replicated-B algorithm "has higher memory consumption
+(compared to alternatives such as decomposing both A and B)" — and §I
+that DRAM scarcity forces applications to "run wider ... thereby
+incurring increased communication costs."  This module implements that
+alternative: A is row-striped, B is column-striped, and the B blocks
+rotate around a ring of ranks, so no process ever holds more than
+``3 n²/P`` elements — at the price of circulating the whole of B through
+the network once per multiply.
+
+Comparing it with the replicated runs completes the paper's argument:
+NVMalloc keeps the *low-communication replicated algorithm* feasible on
+all cores without the decomposed variant's network bill.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NVMallocError
+from repro.parallel.comm import RankContext
+from repro.parallel.job import Job
+from repro.pfs.pfs import ParallelFileSystem
+from repro.sim.events import Event
+from repro.workloads.matmul import MatmulConfig, _input_matrices
+
+STAGES = ("input_a", "input_b", "compute", "collect_c")
+
+
+@dataclass
+class DecomposedResult:
+    """Stage breakdown of one decomposed MM run."""
+
+    config: MatmulConfig
+    job_label: str
+    stage_times: dict[str, float] = field(default_factory=dict)
+    network_bytes: float = 0.0
+    peak_rank_bytes: int = 0
+    verified: bool = False
+
+    @property
+    def total(self) -> float:
+        """Sum of all stage times."""
+        return sum(self.stage_times.values())
+
+    @property
+    def compute_time(self) -> float:
+        """Duration of the ring-compute stage."""
+        return self.stage_times.get("compute", 0.0)
+
+
+def _decomposed_rank(
+    ctx: RankContext,
+    config: MatmulConfig,
+    pfs: ParallelFileSystem,
+) -> Generator[Event, object, dict[str, object]]:
+    n = config.n
+    size = ctx.size
+    if n % size:
+        raise NVMallocError(f"ranks {size} must divide n {n}")
+    rows = n // size
+    master = 0
+    stage_times: dict[str, float] = {}
+    mark = ctx.engine.now
+
+    def stage_end(name: str) -> None:
+        nonlocal mark
+        now = ctx.engine.now
+        stage_times[name] = now - mark
+        mark = now
+
+    # Memory: A rows + one B column-block + C rows, all in DRAM.
+    per_rank_bytes = 3 * rows * n * 8
+    ctx.node.dram.allocate(per_rank_bytes)
+
+    # -- Stage 1: scatter A row blocks ----------------------------------
+    if ctx.rank == master:
+        a_local: np.ndarray | None = None
+        for dest in range(size):
+            raw = yield from pfs.read(
+                ctx.node.name, "mm/A", dest * rows * n * 8, rows * n * 8
+            )
+            block = np.frombuffer(raw, dtype=np.float64).reshape(rows, n)
+            if dest == master:
+                a_local = block
+            else:
+                yield from ctx.send(block, dest=dest, tag=70)
+    else:
+        a_local = yield from ctx.recv(source=master, tag=70)
+    assert isinstance(a_local, np.ndarray)
+    yield from ctx.barrier()
+    stage_end("input_a")
+
+    # -- Stage 2: scatter B column blocks -------------------------------
+    # B is row-major on the PFS: the master streams contiguous row-tiles
+    # (one PFS read each), slices the column blocks in memory, and
+    # scatters the slabs — so its transient footprint stays at one tile.
+    cols = rows  # square decomposition: n/P columns per rank
+    tile_rows = max(1, config.tile)
+    b_block = np.empty((n, cols), dtype=np.float64)
+    if ctx.rank == master:
+        for r0 in range(0, n, tile_rows):
+            r1 = min(r0 + tile_rows, n)
+            raw = yield from pfs.read(
+                ctx.node.name, "mm/B", r0 * n * 8, (r1 - r0) * n * 8
+            )
+            slab = np.frombuffer(raw, dtype=np.float64).reshape(r1 - r0, n)
+            for dest in range(size):
+                piece = np.ascontiguousarray(
+                    slab[:, dest * cols : (dest + 1) * cols]
+                )
+                if dest == master:
+                    b_block[r0:r1] = piece
+                else:
+                    yield from ctx.send(piece, dest=dest, tag=71)
+    else:
+        for r0 in range(0, n, tile_rows):
+            r1 = min(r0 + tile_rows, n)
+            piece = yield from ctx.recv(source=master, tag=71)
+            b_block[r0:r1] = np.asarray(piece)
+    yield from ctx.barrier()
+    stage_end("input_b")
+
+    # -- Stage 3: ring compute -------------------------------------------
+    # Step k: multiply my A rows with the block that started at rank
+    # (rank + k) mod P, then pass it along the ring.
+    c_local = np.zeros((rows, n), dtype=np.float64)
+    right = (ctx.rank + 1) % size
+    left = (ctx.rank - 1) % size
+    current = b_block
+    owner = ctx.rank
+    for _step in range(size):
+        c0 = owner * cols
+        yield from ctx.compute(2.0 * rows * n * cols)
+        c_local[:, c0 : c0 + cols] = a_local @ current
+        if _step < size - 1:
+            # Even ranks send first, odd ranks receive first: no deadlock
+            # even if sends were synchronous.
+            if ctx.rank % 2 == 0:
+                yield from ctx.send(current, dest=left, tag=72)
+                current = yield from ctx.recv(source=right, tag=72)
+            else:
+                incoming = yield from ctx.recv(source=right, tag=72)
+                yield from ctx.send(current, dest=left, tag=72)
+                current = incoming
+            current = np.asarray(current)
+            owner = (owner + 1) % size
+    yield from ctx.barrier()
+    stage_end("compute")
+
+    # -- Stage 4: gather C -----------------------------------------------
+    gathered = yield from ctx.gather(c_local, root=master)
+    verified = True
+    if ctx.rank == master:
+        assert gathered is not None
+        c_full = np.vstack([np.asarray(g) for g in gathered])
+        if pfs.exists("mm/C"):
+            pfs.unlink("mm/C")
+        pfs.create("mm/C", n * n * 8)
+        yield from pfs.write(ctx.node.name, "mm/C", 0, c_full.tobytes())
+        if config.verify:
+            a_true, b_true = _input_matrices(config)
+            verified = bool(np.array_equal(c_full, a_true @ b_true))
+    yield from ctx.barrier()
+    stage_end("collect_c")
+
+    ctx.node.dram.free(per_rank_bytes)
+    return {
+        "rank": ctx.rank,
+        "stage_times": stage_times,
+        "verified": verified,
+        "peak_bytes": per_rank_bytes,
+    }
+
+
+def run_matmul_decomposed(
+    job: Job, pfs: ParallelFileSystem, config: MatmulConfig
+) -> DecomposedResult:
+    """Stage inputs, run the ring algorithm, fold the results."""
+    a_true, b_true = _input_matrices(config)
+    for name in ("mm/A", "mm/B", "mm/C"):
+        if pfs.exists(name):
+            pfs.unlink(name)
+    pfs.put_initial("mm/A", a_true.tobytes())
+    pfs.put_initial("mm/B", b_true.tobytes())
+
+    net_before = job.cluster.metrics.value("network.bytes")
+    _, results = job.run(lambda ctx: _decomposed_rank(ctx, config, pfs))
+    result = DecomposedResult(config=config, job_label=job.config.label())
+    for stage in STAGES:
+        result.stage_times[stage] = max(
+            r["stage_times"][stage] for r in results  # type: ignore[index]
+        )
+    result.network_bytes = (
+        job.cluster.metrics.value("network.bytes") - net_before
+    )
+    result.peak_rank_bytes = max(r["peak_bytes"] for r in results)  # type: ignore[index]
+    result.verified = all(r["verified"] for r in results)  # type: ignore[index]
+    return result

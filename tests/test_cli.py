@@ -1,0 +1,33 @@
+"""Tests for the experiment CLI (`python -m repro.experiments`)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "table7", "checkpoint", "cost", "explicit"):
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_run_one_tiny(self, capsys):
+        assert main(["checkpoint", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Checkpointing" in out
+        assert "paper vs measured" in out
+
+    def test_table1_runs_without_scale(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        assert "Intel X25-E" in capsys.readouterr().out
+
+    def test_registry_matches_drivers(self):
+        # Every registered experiment is callable and described.
+        for name, (driver, description) in EXPERIMENTS.items():
+            assert callable(driver)
+            assert description

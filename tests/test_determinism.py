@@ -1,0 +1,90 @@
+"""Determinism: identical runs produce identical virtual timings.
+
+INTERNALS.md promises exact reproducibility — no wall-clock, no unseeded
+randomness, FIFO tie-breaking at equal timestamps.  These tests run whole
+experiments twice and require bit-identical virtual times.
+"""
+
+import numpy as np
+
+from repro.experiments.configs import TINY
+from repro.experiments.runner import Testbed
+from repro.workloads import (
+    CheckpointWorkloadConfig,
+    MatmulConfig,
+    SortConfig,
+    run_checkpoint_workload,
+    run_matmul,
+    run_quicksort,
+)
+
+
+def test_matmul_is_deterministic():
+    def once():
+        testbed = Testbed(TINY)
+        job = testbed.job(4, 2, 2)
+        result = run_matmul(
+            job, testbed.pfs,
+            MatmulConfig(n=64, tile=16, b_placement="nvm"),
+        )
+        return result.stage_times, testbed.engine.now
+
+    first_stages, first_now = once()
+    second_stages, second_now = once()
+    assert first_stages == second_stages  # exact float equality
+    assert first_now == second_now
+
+
+def test_sort_is_deterministic():
+    def once():
+        testbed = Testbed(TINY.with_(cpu_slowdown=1.0))
+        job = testbed.job(2, 2, 2)
+        result = run_quicksort(job, testbed.pfs, SortConfig(
+            total_elements=1 << 13, mode="hybrid",
+            dram_elements_per_rank=512,
+        ))
+        return result.elapsed
+
+    assert once() == once()
+
+
+def test_checkpoint_workload_is_deterministic():
+    def once():
+        testbed = Testbed(TINY.with_(cpu_slowdown=1.0))
+        job = testbed.job(1, 2, 2)
+        result = run_checkpoint_workload(job, CheckpointWorkloadConfig(
+            variable_bytes=1 << 20, dram_state_bytes=1 << 14, timesteps=2,
+        ))
+        return result.elapsed, tuple(result.cow_chunks_per_step)
+
+    assert once() == once()
+
+
+def test_concurrent_interleaving_is_deterministic():
+    """Even heavily interleaved multi-rank cache traffic replays exactly."""
+
+    def once():
+        testbed = Testbed(TINY.with_(cpu_slowdown=1.0))
+        job = testbed.job(4, 2, 2)
+        times = []
+
+        def worker(ctx):
+            assert ctx.nvmalloc is not None
+            arr = yield from ctx.nvmalloc.ssdmalloc_array(
+                (1 << 14,), np.float64, owner=f"d{ctx.rank}"
+            )
+            for s in range(0, 1 << 14, 1 << 11):
+                yield from arr.write_slice(
+                    s, np.arange(s, s + (1 << 11), dtype=np.float64)
+                )
+            for s in range(0, 1 << 14, 1 << 11):
+                got = yield from arr.read_slice(s, s + (1 << 11))
+                assert got[0] == s
+            yield from ctx.nvmalloc.ssdfree(arr.variable)
+            times.append(ctx.engine.now)
+            return True
+
+        job.run(worker)
+        return tuple(times)
+
+    assert once() == once()

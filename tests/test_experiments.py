@@ -1,0 +1,136 @@
+"""Tests for the experiment drivers (at TINY scale for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    SMALL,
+    TINY,
+    ExperimentScale,
+    Testbed,
+    checkpoint_experiment,
+    fig3,
+    fig4,
+    table1,
+    table6,
+    table7,
+)
+from repro.experiments.report import ExperimentReport
+from repro.util.units import KiB, MiB
+
+
+class TestScales:
+    def test_small_preserves_paper_ratios(self):
+        # Matrix vs DRAM: 2 of 8 replicated copies fit (paper: 2 GB vs 8 GB).
+        assert 2 * SMALL.matrix_bytes + SMALL.matrix_bytes <= SMALL.dram_per_node
+        assert 8 * SMALL.matrix_bytes > SMALL.dram_per_node
+        # Sort oversubscription ~1.5625 (paper: 200 GB vs 128 GB).
+        budget = SMALL.sort_dram_per_rank * 128 * 8
+        ratio = SMALL.sort_elements * 8 / budget
+        assert 1.4 < ratio < 1.7
+        # Random-write region dwarfs the FUSE cache (paper: 2 GB vs 64 MB).
+        assert SMALL.randwrite_region >= 16 * SMALL.fuse_cache
+
+    def test_with_override(self):
+        changed = SMALL.with_(matrix_n=64)
+        assert changed.matrix_n == 64
+        assert changed.fuse_cache == SMALL.fuse_cache
+        assert SMALL.matrix_n != 64  # original untouched
+
+    def test_cpu_spec_slowdown(self):
+        spec = SMALL.cpu_spec()
+        assert spec.flops == pytest.approx(4.8e9 / SMALL.cpu_slowdown)
+
+
+class TestTestbed:
+    def test_fresh_state_per_testbed(self):
+        t1 = Testbed(TINY)
+        t2 = Testbed(TINY)
+        assert t1.cluster is not t2.cluster
+        assert t1.cluster.metrics is not t2.cluster.metrics
+
+    def test_job_uses_scale_defaults(self):
+        testbed = Testbed(TINY)
+        job = testbed.job(2, 2, 2)
+        assert job.config.fuse_cache_bytes == TINY.fuse_cache
+        assert job.config.page_cache_bytes == TINY.page_cache
+
+
+class TestReport:
+    def test_render_contains_rows_and_claims(self):
+        report = ExperimentReport(
+            experiment="Table X", title="demo", headers=["a", "b"]
+        )
+        report.add_row("r1", 1.5)
+        report.claim("paper says", "we measured")
+        text = report.render()
+        assert "Table X" in text
+        assert "r1" in text
+        assert "paper says" in text
+        assert "we measured" in text
+        assert "[OK]" in text
+
+    def test_unverified_marker(self):
+        report = ExperimentReport(
+            experiment="T", title="t", headers=["x"], verified=False
+        )
+        assert "UNVERIFIED" in report.render()
+
+
+class TestDrivers:
+    """Drivers run end-to-end at TINY scale and produce sane reports."""
+
+    def test_table1_is_static(self):
+        report = table1()
+        assert report.verified
+        assert len(report.rows) == 5
+        assert any("Intel X25-E" in str(row) for row in report.rows)
+
+    def test_fig3_shapes(self):
+        report = fig3(TINY)
+        assert report.verified
+        assert len(report.rows) == 8
+        labels = [row[0] for row in report.rows]
+        assert labels[0] == "DRAM(2:16:0)"
+        assert "R-SSD(8:8:1)" in labels
+        # Stage breakdown sums to the total.
+        for row in report.rows:
+            assert sum(row[1:6]) == pytest.approx(row[6])
+
+    def test_fig3_more_procs_beat_dram_baseline_at_small(self):
+        """The headline Fig. 3 shape needs the calibrated SMALL scale;
+        TINY is structural-only."""
+        report = fig3(SMALL)
+        totals = {row[0]: row[6] for row in report.rows}
+        assert totals["L-SSD(8:16:16)"] < totals["DRAM(2:16:0)"]
+        # Remote overhead is small (paper: 1.42%).
+        assert totals["R-SSD(8:8:8)"] < totals["L-SSD(8:8:8)"] * 1.10
+
+    def test_fig4_structure(self):
+        report = fig4(TINY)
+        assert report.verified
+        assert len(report.rows) == 4
+        for row in report.rows:
+            assert row[1] > 0 and row[2] > 0
+
+    def test_table6_hybrid_wins(self):
+        scale = TINY.with_(sort_elements=1 << 16, sort_dram_per_rank=320)
+        report = table6(scale)
+        assert report.verified
+        times = {row[0]: row[2] for row in report.rows}
+        assert times["L-SSD(8:16:16)"] < times["DRAM(8:16:0)"]
+
+    def test_table7_optimization_wins(self):
+        scale = TINY.with_(randwrite_region=4 * MiB, randwrite_count=512)
+        report = table7(scale)
+        assert report.verified
+        by_mode = {row[0]: row[2] for row in report.rows}
+        assert by_mode["w/o Optimization"] > 5 * by_mode["w/ Optimization"]
+
+    def test_checkpoint_experiment(self):
+        report = checkpoint_experiment(TINY)
+        assert report.verified
+        assert len(report.rows) == 4
+        # Every step writes only the DRAM image and links the variable.
+        for row in report.rows:
+            assert row[1] == TINY.checkpoint_dram_state
+            assert row[2] == pytest.approx(TINY.checkpoint_variable)

@@ -1,0 +1,53 @@
+"""Structural tests for the remaining experiment drivers at TINY scale."""
+
+import pytest
+
+from repro.experiments import TINY, fig2, table3, table4, cost_analysis
+from repro.util.units import KiB, MiB
+
+
+class TestFig2Tiny:
+    def test_structure_and_direction(self):
+        report = fig2(TINY)
+        assert report.verified
+        rows = {row[0]: row for row in report.rows}
+        assert rows["None"][1] == 100.0
+        # Every NVM placement is slower than DRAM, local and remote.
+        for label, row in rows.items():
+            if label != "None":
+                assert row[1] < 100.0
+                assert row[2] < 100.0
+
+
+class TestTable3Tiny:
+    def test_rows_and_kernels(self):
+        report = table3(TINY)
+        assert report.verified
+        kernels = [row[0] for row in report.rows]
+        assert kernels == ["COPY", "SCALE", "ADD", "TRIAD"]
+        # All bandwidths are positive.
+        for row in report.rows:
+            assert row[1] > 0 and row[2] > 0
+
+
+class TestTable4Tiny:
+    def test_flow_relationships(self):
+        report = table4(TINY)
+        assert report.verified
+        rows = {row[0]: row for row in report.rows}
+        for row in rows.values():
+            # FUSE requests never exceed what faults can generate, and
+            # SSD traffic never exceeds FUSE requests by more than the
+            # chunk/page amplification bound.
+            assert row[2] >= 0 and row[3] >= 0
+        # Column-major always costs at least as much SSD traffic.
+        assert rows["Column-major"][3] >= rows["Row-major"][3]
+
+
+class TestCostTiny:
+    def test_monetary_identity(self):
+        report = cost_analysis(TINY)
+        rows = {row[0]: row for row in report.rows}
+        # L-SSD(8:16:16) costs exactly 16 SSDs more than the DRAM baseline.
+        delta = rows["L-SSD(8:16:16)"][3] - rows["DRAM(2:16:0)"][3]
+        assert delta == pytest.approx(16 * 589.0)

@@ -1,0 +1,246 @@
+"""Tests for the paper's extension features.
+
+§III-C sketches variable lifetimes beyond the run (workflow / in-situ
+sharing); §III-E sketches user-controlled checkpoint layout and draining
+checkpoints to the PFS in the background; §II requires benefactor status
+monitoring.  All four are implemented and tested here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NVMalloc
+from repro.errors import (
+    AllocationError,
+    BenefactorDownError,
+    CheckpointError,
+    NVMallocError,
+)
+from repro.pfs import ParallelFileSystem
+from repro.store import CHUNK_SIZE
+from repro.util.units import KiB, MiB
+from tests.conftest import run
+
+
+class TestPersistentVariables:
+    def test_survives_ssdfree(self, engine, nvmalloc):
+        def proc():
+            var = yield from nvmalloc.ssdmalloc(
+                10_000, persistent_name="wf/stage1"
+            )
+            yield from var.write(0, b"handed to the next job")
+            yield from nvmalloc.ssdfree(var)
+            again = yield from nvmalloc.open_persistent("wf/stage1")
+            data = yield from again.read(0, 22)
+            yield from nvmalloc.ssdfree(again)
+            yield from nvmalloc.unlink_persistent("wf/stage1")
+            return data
+
+        assert run(engine, proc()) == b"handed to the next job"
+
+    def test_cross_node_sharing(self, engine, small_cluster, store):
+        """The workflow case: a producer on one node, an in-situ consumer
+        on another."""
+        producer = NVMalloc(
+            small_cluster.node(1), store,
+            fuse_cache_bytes=512 * KiB, page_cache_bytes=256 * KiB,
+        )
+        consumer = NVMalloc(
+            small_cluster.node(2), store,
+            fuse_cache_bytes=512 * KiB, page_cache_bytes=256 * KiB,
+        )
+
+        def proc():
+            var = yield from producer.ssdmalloc(
+                CHUNK_SIZE, persistent_name="sim/field"
+            )
+            yield from var.write(100, b"simulation output")
+            yield from producer.ssdfree(var)  # producer job ends
+
+            view = yield from consumer.open_persistent("sim/field")
+            data = yield from view.read(100, 17)
+            yield from consumer.ssdfree(view)
+            yield from consumer.unlink_persistent("sim/field")
+            return data
+
+        assert run(engine, proc()) == b"simulation output"
+
+    def test_create_twice_rejected(self, engine, nvmalloc):
+        def proc():
+            var = yield from nvmalloc.ssdmalloc(100, persistent_name="p")
+            yield from nvmalloc.ssdfree(var)
+            yield from nvmalloc.ssdmalloc(100, persistent_name="p")
+
+        with pytest.raises(AllocationError):
+            run(engine, proc())
+
+    def test_open_missing_rejected(self, engine, nvmalloc):
+        with pytest.raises(AllocationError):
+            run(engine, nvmalloc.open_persistent("nope"))
+
+    def test_unlink_while_mapped_rejected(self, engine, nvmalloc):
+        def proc():
+            var = yield from nvmalloc.ssdmalloc(100, persistent_name="live")
+            try:
+                yield from nvmalloc.unlink_persistent("live")
+            finally:
+                yield from nvmalloc.ssdfree(var)
+
+        with pytest.raises(NVMallocError):
+            run(engine, proc())
+
+    def test_exclusive_with_shared_key(self, engine, nvmalloc):
+        with pytest.raises(AllocationError):
+            run(
+                engine,
+                nvmalloc.ssdmalloc(100, shared_key="s", persistent_name="p"),
+            )
+
+    def test_checkpointable(self, engine, nvmalloc):
+        """Persistent variables checkpoint and restore like any other."""
+
+        def proc():
+            var = yield from nvmalloc.ssdmalloc(
+                CHUNK_SIZE, persistent_name="ckpt-me"
+            )
+            yield from var.write(0, b"state")
+            yield from nvmalloc.ssdcheckpoint("t", 0, b"", [("v", var)])
+            yield from var.write(0, b"later")
+            _, variables = yield from nvmalloc.restore("t", 0)
+            yield from nvmalloc.ssdfree(var)
+            yield from nvmalloc.unlink_persistent("ckpt-me")
+            return variables["v"][:5]
+
+        assert run(engine, proc()) == b"state"
+
+
+class TestCheckpointLayout:
+    def test_custom_order(self, engine, nvmalloc):
+        def proc():
+            v1 = yield from nvmalloc.ssdmalloc(CHUNK_SIZE)
+            v2 = yield from nvmalloc.ssdmalloc(CHUNK_SIZE)
+            yield from v1.write(0, b"one")
+            yield from v2.write(0, b"two")
+            record = yield from nvmalloc.ssdcheckpoint(
+                "t", 0, b"dram", [("v1", v1), ("v2", v2)],
+                layout=["v2", "__dram__", "v1"],
+            )
+            dram, variables = yield from nvmalloc.restore("t", 0)
+            return record, dram, variables
+
+        record, dram, variables = run(engine, proc())
+        assert [s.name for s in record.sections] == ["v2", "__dram__", "v1"]
+        offsets = {s.name: s.offset for s in record.sections}
+        assert offsets["v2"] < offsets["__dram__"] < offsets["v1"]
+        assert dram == b"dram"
+        assert variables["v1"][:3] == b"one"
+        assert variables["v2"][:3] == b"two"
+
+    def test_layout_must_be_permutation(self, engine, nvmalloc):
+        def proc():
+            v1 = yield from nvmalloc.ssdmalloc(CHUNK_SIZE)
+            yield from nvmalloc.ssdcheckpoint(
+                "t", 0, b"", [("v1", v1)], layout=["v1"]
+            )
+
+        with pytest.raises(CheckpointError):
+            run(engine, proc())
+
+    def test_empty_dram_state(self, engine, nvmalloc):
+        def proc():
+            v1 = yield from nvmalloc.ssdmalloc(CHUNK_SIZE)
+            yield from v1.write(0, b"only-var")
+            yield from nvmalloc.ssdcheckpoint("t", 0, b"", [("v", v1)])
+            dram, variables = yield from nvmalloc.restore("t", 0)
+            return dram, variables["v"][:8]
+
+        dram, v = run(engine, proc())
+        assert dram == b""
+        assert v == b"only-var"
+
+
+class TestDrainToPfs:
+    def test_drain_roundtrip(self, engine, small_cluster, nvmalloc):
+        pfs = ParallelFileSystem(engine, small_cluster.network, num_servers=2)
+
+        def proc():
+            var = yield from nvmalloc.ssdmalloc(2 * CHUNK_SIZE)
+            yield from var.write(0, b"drained to scratch")
+            yield from nvmalloc.ssdcheckpoint("t", 0, b"DRAM!", [("v", var)])
+            dest = yield from nvmalloc.drain_checkpoint_to_pfs(
+                "t", 0, pfs, block_bytes=64 * KiB
+            )
+            return dest
+
+        dest = run(engine, proc())
+        record = nvmalloc.checkpoint_record("t", 0)
+        raw = pfs.read_raw(dest)
+        dram_sec = record.dram_section
+        assert raw[dram_sec.offset : dram_sec.offset + 5] == b"DRAM!"
+        var_sec = record.section("v")
+        assert raw[var_sec.offset : var_sec.offset + 18] == b"drained to scratch"
+
+    def test_background_drain_overlaps_compute(self, engine, small_cluster, nvmalloc):
+        """Spawned as its own process, the drain costs (almost) no
+        foreground time."""
+        pfs = ParallelFileSystem(engine, small_cluster.network, num_servers=2)
+        core = small_cluster.node(1).cores[0]
+
+        def proc():
+            var = yield from nvmalloc.ssdmalloc(4 * CHUNK_SIZE)
+            yield from var.write(0, bytes(4 * CHUNK_SIZE))
+            yield from nvmalloc.ssdcheckpoint("t", 0, b"x", [("v", var)])
+            drain = engine.process(
+                nvmalloc.drain_checkpoint_to_pfs("t", 0, pfs)
+            )
+            start = engine.now
+            yield from core.compute(core.spec.flops)  # 1 virtual second
+            compute_elapsed = engine.now - start
+            yield drain  # join
+            return compute_elapsed
+
+        compute_elapsed = run(engine, proc())
+        assert compute_elapsed == pytest.approx(1.0, rel=0.01)
+
+
+class TestBenefactorMonitoring:
+    def test_heartbeat_marks_crashed_offline(self, engine, store, client):
+        def proc():
+            yield from client.create("/f", 4 * CHUNK_SIZE)
+            victim = store.benefactors()[0]
+            victim.crash()
+            marked = yield from store.monitor(0.01, rounds=2)
+            return victim, marked
+
+        victim, marked = run(engine, proc())
+        assert marked == 1
+        assert not victim.online
+
+    def test_resolution_fails_fast_after_monitoring(self, engine, store, client):
+        def proc():
+            yield from client.create("/f", 4 * CHUNK_SIZE)
+            _, owner = store.resolve_chunk("/f", 0)
+            owner.crash()
+            yield from store.monitor(0.01, rounds=1)
+            store.resolve_chunk("/f", 0)
+
+        with pytest.raises(BenefactorDownError):
+            run(engine, proc())
+
+    def test_new_allocations_avoid_failed_benefactor(self, engine, store, client):
+        def proc():
+            victim = store.benefactors()[0]
+            victim.crash()
+            yield from store.monitor(0.01, rounds=1)
+            yield from client.create("/g", 6 * CHUNK_SIZE)
+            return victim.reserved
+
+        assert run(engine, proc()) == 0
+
+    def test_healthy_benefactors_untouched(self, engine, store, client):
+        def proc():
+            marked = yield from store.monitor(0.01, rounds=3)
+            return marked
+
+        assert run(engine, proc()) == 0
+        assert all(b.online for b in store.benefactors())

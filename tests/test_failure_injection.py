@@ -1,0 +1,94 @@
+"""Failure injection under load: errors must surface, never hang."""
+
+import numpy as np
+import pytest
+
+from repro.core import NVMalloc
+from repro.errors import BenefactorDownError, SimulationError
+from repro.store import CHUNK_SIZE
+from repro.util.units import KiB
+from tests.conftest import run
+
+
+class TestCrashUnderLoad:
+    def test_crash_mid_stream_raises_promptly(self, engine, small_cluster, store):
+        """A benefactor dying while ranks stream through it produces
+        BenefactorDownError in the affected ranks — and the simulation
+        terminates (no deadlock)."""
+        lib = NVMalloc(
+            small_cluster.node(1), store,
+            fuse_cache_bytes=2 * CHUNK_SIZE, page_cache_bytes=64 * KiB,
+        )
+        outcomes = []
+
+        def worker(tag):
+            arr = yield from lib.ssdmalloc_array(
+                (64 * 1024,), np.float64, owner=f"w{tag}"
+            )
+            try:
+                for _ in range(3):
+                    for s in range(0, 64 * 1024, 8192):
+                        yield from arr.write_slice(
+                            s, np.full(8192, float(tag))
+                        )
+                    for s in range(0, 64 * 1024, 8192):
+                        yield from arr.read_slice(s, s + 8192)
+                outcomes.append((tag, "completed"))
+            except BenefactorDownError:
+                outcomes.append((tag, "failed-cleanly"))
+            return True
+
+        def killer():
+            yield engine.timeout(0.005)
+            for benefactor in store.benefactors()[:2]:
+                benefactor.crash()
+
+        procs = [engine.process(worker(t)) for t in range(4)]
+        engine.process(killer())
+        results = engine.run_all(procs)
+        assert all(results)
+        assert len(outcomes) == 4
+        # With half the benefactors dead mid-run, at least one rank must
+        # have observed the failure.
+        assert any(status == "failed-cleanly" for _, status in outcomes)
+
+    def test_flush_of_dirty_data_to_dead_benefactor(self, engine, small_cluster, store):
+        """Dirty cache data whose benefactor died surfaces the error at
+        flush time instead of being dropped silently."""
+        lib = NVMalloc(
+            small_cluster.node(2), store,
+            fuse_cache_bytes=2 * CHUNK_SIZE, page_cache_bytes=64 * KiB,
+        )
+
+        def scenario():
+            var = yield from lib.ssdmalloc(2 * CHUNK_SIZE, owner="doomed")
+            yield from var.write(0, b"dirty data")
+            chunk_id, owner = store.resolve_chunk(var.backing_path, 0)
+            owner.crash()
+            with pytest.raises(BenefactorDownError):
+                yield from var.region.msync()
+                yield from lib.mount.cache.flush_path(var.backing_path)
+            return True
+
+        assert run(engine, scenario())
+
+    def test_monitoring_plus_new_traffic(self, engine, small_cluster, store):
+        """After the monitor marks a benefactor offline, fresh allocations
+        proceed on the survivors."""
+        lib = NVMalloc(
+            small_cluster.node(3), store,
+            fuse_cache_bytes=2 * CHUNK_SIZE, page_cache_bytes=64 * KiB,
+        )
+
+        def scenario():
+            store.benefactors()[0].crash()
+            yield from store.monitor(0.001, rounds=1)
+            var = yield from lib.ssdmalloc(4 * CHUNK_SIZE, owner="survivor")
+            yield from var.write(0, b"still works")
+            got = yield from var.read(0, 11)
+            yield from lib.ssdfree(var)
+            return got
+
+        assert run(engine, scenario()) == b"still works"
+        # Nothing landed on the dead benefactor.
+        assert store.benefactors()[0].reserved == 0

@@ -1,0 +1,351 @@
+"""Tests for the FUSE-like layer: mount, chunk cache, dirty tracking."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BadFileDescriptorError, FuseError
+from repro.fusefs import FuseMount, OpenFlags
+from repro.store import CHUNK_SIZE, PAGE_SIZE
+from repro.util.units import KiB, MiB
+from tests.conftest import run
+
+
+@pytest.fixture
+def mount(small_cluster, store):
+    return FuseMount(small_cluster.node(1), store, cache_bytes=1 * MiB)
+
+
+class TestOpenFlags:
+    def test_rdonly(self):
+        assert OpenFlags.O_RDONLY.readable
+        assert not OpenFlags.O_RDONLY.writable
+
+    def test_rdwr(self):
+        flags = OpenFlags.O_RDWR
+        assert flags.readable and flags.writable
+
+    def test_wronly(self):
+        assert not OpenFlags.O_WRONLY.readable
+        assert OpenFlags.O_WRONLY.writable
+
+
+class TestMountLifecycle:
+    def test_create_open_close(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=1000
+            )
+            assert mount.stat_size("/f") == 1000
+            yield from mount.close(fd)
+            fd2 = yield from mount.open("/f", OpenFlags.O_RDONLY)
+            yield from mount.close(fd2)
+
+        run(engine, proc())
+
+    def test_create_requires_size(self, engine, mount):
+        def proc():
+            yield from mount.open("/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT)
+
+        with pytest.raises(FuseError):
+            run(engine, proc())
+
+    def test_bad_fd(self, engine, mount):
+        with pytest.raises(BadFileDescriptorError):
+            run(engine, mount.pread(99, 0, 1))
+
+    def test_unlink_open_file_rejected(self, engine, mount):
+        def proc():
+            yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=10
+            )
+            yield from mount.unlink("/f")
+
+        with pytest.raises(FuseError):
+            run(engine, proc())
+
+    def test_write_to_readonly_rejected(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_CREAT | OpenFlags.O_RDONLY, size=10
+            )
+            yield from mount.pwrite(fd, 0, b"x")
+
+        with pytest.raises(FuseError):
+            run(engine, proc())
+
+    def test_fallocate_within_reservation(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=1000
+            )
+            yield from mount.fallocate(fd, 500)
+            with pytest.raises(FuseError):
+                yield from mount.fallocate(fd, 2000)
+
+        run(engine, proc())
+
+
+class TestDataPath:
+    def test_o_rdwr_read_your_writes(self, engine, mount):
+        """The paper's O_RDWR requirement: written data is immediately
+        readable (§III-C)."""
+
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=2 * CHUNK_SIZE
+            )
+            yield from mount.pwrite(fd, 1234, b"immediate")
+            return (yield from mount.pread(fd, 1234, 9))
+
+        assert run(engine, proc()) == b"immediate"
+
+    def test_sequential_read_write(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=100
+            )
+            yield from mount.write(fd, b"abc")
+            yield from mount.write(fd, b"def")
+            fd2 = yield from mount.open("/f", OpenFlags.O_RDONLY)
+            return (yield from mount.read(fd2, 6))
+
+        assert run(engine, proc()) == b"abcdef"
+
+    def test_read_past_eof_truncates(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=10
+            )
+            yield from mount.pwrite(fd, 0, b"0123456789")
+            return (yield from mount.read(fd, 100))
+
+        assert run(engine, proc()) == b"0123456789"
+
+    def test_cross_chunk_write(self, engine, mount):
+        payload = bytes(range(256)) * ((CHUNK_SIZE // 256) + 10)
+
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=3 * CHUNK_SIZE
+            )
+            yield from mount.pwrite(fd, CHUNK_SIZE - 100, payload)
+            return (yield from mount.pread(fd, CHUNK_SIZE - 100, len(payload)))
+
+        assert run(engine, proc()) == payload
+
+    def test_persists_through_cache_flush(self, engine, mount, store):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=CHUNK_SIZE
+            )
+            yield from mount.pwrite(fd, 0, b"durable")
+            yield from mount.fsync(fd)
+            mount.cache.invalidate_path("/f")  # drop the cache entirely
+            return (yield from mount.pread(fd, 0, 7))
+
+        assert run(engine, proc()) == b"durable"
+
+
+class TestChunkCacheBehaviour:
+    def test_whole_chunk_fetched_on_byte_read(self, engine, mount):
+        """One byte of access pulls a full 256 KB chunk (granularity
+        bridging, §III-D)."""
+
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=CHUNK_SIZE
+            )
+            yield from mount.pwrite(fd, 0, bytes(CHUNK_SIZE))
+            yield from mount.fsync(fd)
+            mount.cache.invalidate_path("/f")
+            before = mount.cache.stats.fetched_bytes
+            yield from mount.pread(fd, 5000, 1)
+            return mount.cache.stats.fetched_bytes - before
+
+        assert run(engine, proc()) == CHUNK_SIZE
+
+    def test_reuse_hits_cache(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=CHUNK_SIZE
+            )
+            yield from mount.pread(fd, 0, 100)
+            before = mount.cache.stats.fetched_bytes
+            for offset in range(0, CHUNK_SIZE, PAGE_SIZE):
+                yield from mount.pread(fd, offset, 10)
+            return mount.cache.stats.fetched_bytes - before
+
+        assert run(engine, proc()) == 0
+
+    def test_lru_eviction_order(self, engine, mount):
+        capacity = mount.cache.capacity_chunks
+
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT,
+                size=(capacity + 1) * CHUNK_SIZE,
+            )
+            for index in range(capacity + 1):
+                yield from mount.pread(fd, index * CHUNK_SIZE, 1)
+            return mount.cache.cached_keys()
+
+        keys = run(engine, proc())
+        # Chunk 0 (oldest) was evicted; the rest remain in LRU order.
+        assert ("/f", 0) not in keys
+        assert keys == [("/f", i) for i in range(1, capacity + 1)]
+
+    def test_dirty_page_writeback_volume(self, engine, mount, small_cluster):
+        """Evicting a chunk with one dirty byte ships one page, not 256 KB
+        (the Table VII optimization)."""
+
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=CHUNK_SIZE
+            )
+            yield from mount.pwrite(fd, 10_000, b"z")
+            before = mount.cache.stats.writeback_bytes
+            yield from mount.fsync(fd)
+            return mount.cache.stats.writeback_bytes - before
+
+        assert run(engine, proc()) == PAGE_SIZE
+
+    def test_unoptimized_writes_whole_chunk(self, engine, small_cluster, store):
+        mount = FuseMount(
+            small_cluster.node(2), store, cache_bytes=1 * MiB,
+            dirty_page_writeback=False,
+        )
+
+        def proc():
+            fd = yield from mount.open(
+                "/g", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=CHUNK_SIZE
+            )
+            yield from mount.pwrite(fd, 10_000, b"z")
+            before = mount.cache.stats.writeback_bytes
+            yield from mount.fsync(fd)
+            return mount.cache.stats.writeback_bytes - before
+
+        assert run(engine, proc()) == CHUNK_SIZE
+
+    def test_readahead_prefetches(self, engine, small_cluster, store):
+        mount = FuseMount(
+            small_cluster.node(3), store, cache_bytes=1 * MiB,
+            readahead_chunks=1,
+        )
+
+        def proc():
+            fd = yield from mount.open(
+                "/h", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=3 * CHUNK_SIZE
+            )
+            yield from mount.pread(fd, 0, 1)
+            return mount.cache.cached_keys()
+
+        keys = run(engine, proc())
+        assert ("/h", 0) in keys and ("/h", 1) in keys
+
+    def test_write_allocate_skips_fetch_for_whole_pages(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=CHUNK_SIZE
+            )
+            before = mount.cache.stats.fetched_bytes
+            yield from mount.pwrite(fd, 0, bytes(PAGE_SIZE))  # page-aligned
+            return mount.cache.stats.fetched_bytes - before
+
+        assert run(engine, proc()) == 0
+
+    def test_partial_page_write_read_modify_write(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=CHUNK_SIZE
+            )
+            before = mount.cache.stats.fetched_bytes
+            yield from mount.pwrite(fd, 100, b"partial")  # unaligned
+            return mount.cache.stats.fetched_bytes - before
+
+        assert run(engine, proc()) == CHUNK_SIZE
+
+
+class TestConcurrentCacheIntegrity:
+    def test_many_ranks_private_files(self, engine, small_cluster, store):
+        """Concurrent processes thrashing one small cache never corrupt
+        or lose data (regression: eviction/refetch and flush/fault races)."""
+        mount = FuseMount(
+            small_cluster.node(1), store, cache_bytes=2 * CHUNK_SIZE
+        )
+
+        def worker(tag):
+            path = f"/conc/{tag}"
+            fd = yield from mount.open(
+                path, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=2 * CHUNK_SIZE
+            )
+            pattern = bytes([tag]) * 1000
+            for round_ in range(3):
+                for offset in range(0, 2 * CHUNK_SIZE - 1000, 50_000):
+                    yield from mount.pwrite(fd, offset, pattern)
+                for offset in range(0, 2 * CHUNK_SIZE - 1000, 50_000):
+                    data = yield from mount.pread(fd, offset, 1000)
+                    assert data == pattern, f"corruption for {tag} at {offset}"
+            yield from mount.close(fd)
+            return True
+
+        results = engine.run_all(
+            [engine.process(worker(tag)) for tag in range(1, 9)]
+        )
+        assert all(results)
+
+
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),  # write?
+            st.integers(min_value=0, max_value=2 * CHUNK_SIZE - 1),
+            st.integers(min_value=1, max_value=5000),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    data=st.data(),
+)
+def test_property_mount_matches_bytearray(engine, small_cluster, store, ops, data):
+    """Arbitrary pread/pwrite interleavings behave like a byte array,
+    including through fsync and cache invalidation."""
+    mount = FuseMount(
+        small_cluster.node(2), store, cache_bytes=2 * CHUNK_SIZE
+    )
+    size = 2 * CHUNK_SIZE
+    reference = bytearray(size)
+    name = f"/prop/{data.draw(st.integers(min_value=0, max_value=10**9))}"
+
+    def proc():
+        fd = yield from mount.open(
+            name, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+        )
+        for i, (is_write, offset, length) in enumerate(ops):
+            length = min(length, size - offset)
+            if length <= 0:
+                continue
+            if is_write:
+                payload = bytes([(i * 37 + 11) % 256]) * length
+                yield from mount.pwrite(fd, offset, payload)
+                reference[offset : offset + length] = payload
+            else:
+                got = yield from mount.pread(fd, offset, length)
+                assert got == bytes(reference[offset : offset + length])
+            if i % 7 == 3:
+                yield from mount.fsync(fd)
+            if i % 11 == 5:
+                yield from mount.fsync(fd)
+                mount.cache.invalidate_path(name)
+        whole = yield from mount.pread(fd, 0, size)
+        assert whole == bytes(reference)
+        yield from mount.close(fd)
+        yield from mount.unlink(name)
+
+    run(engine, proc())

@@ -1,0 +1,76 @@
+"""Tests for the SSD lifetime estimator and provisioning-cost analysis."""
+
+import pytest
+
+from repro.devices.lifetime import (
+    endurance_budget_bytes,
+    estimated_lifetime_days,
+    lifetime_gain_from_optimization,
+)
+from repro.devices.specs import DDR3_1600, FUSIONIO_IODRIVE_DUO, INTEL_X25E
+from repro.experiments.configs import TINY
+from repro.experiments.cost import cost_analysis, memory_subsystem_cost
+from repro.util.units import GB, GiB
+
+
+class TestLifetime:
+    def test_endurance_budget(self):
+        # SLC X25-E: 32 GB x 100k cycles.
+        assert endurance_budget_bytes(INTEL_X25E) == 32 * GB * 100_000
+
+    def test_not_an_ssd(self):
+        with pytest.raises(ValueError):
+            endurance_budget_bytes(DDR3_1600)
+
+    def test_lifetime_scales_inversely_with_traffic(self):
+        one = estimated_lifetime_days(INTEL_X25E, 100 * GB)
+        two = estimated_lifetime_days(INTEL_X25E, 200 * GB)
+        assert one == pytest.approx(2 * two)
+
+    def test_write_amplification_shortens_life(self):
+        clean = estimated_lifetime_days(INTEL_X25E, 100 * GB)
+        amplified = estimated_lifetime_days(
+            INTEL_X25E, 100 * GB, write_amplification=2.0
+        )
+        assert amplified == pytest.approx(clean / 2)
+
+    def test_mlc_wears_faster_per_byte(self):
+        slc = estimated_lifetime_days(INTEL_X25E, 100 * GB)
+        mlc = estimated_lifetime_days(FUSIONIO_IODRIVE_DUO, 100 * GB)
+        # The ioDrive has 20x the capacity but 10x fewer cycles: its
+        # budget is still 2x the X25-E's.
+        assert mlc == pytest.approx(2 * slc)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimated_lifetime_days(INTEL_X25E, 0)
+        with pytest.raises(ValueError):
+            estimated_lifetime_days(INTEL_X25E, 1, write_amplification=0.5)
+
+    def test_optimization_gain_matches_paper(self):
+        # Table VII: 19.3 GB vs 504 MB.
+        gain = lifetime_gain_from_optimization(19.3e9, 504e6)
+        assert gain == pytest.approx(38.3, rel=0.01)
+
+
+class TestCostAnalysis:
+    def test_memory_cost_components(self):
+        from repro.experiments.cost import DRAM_DOLLARS_PER_GIB
+
+        dram_only = memory_subsystem_cost(16, 8.0, 0)
+        with_ssds = memory_subsystem_cost(16, 8.0, 16)
+        assert with_ssds - dram_only == pytest.approx(16 * 589.0)
+        assert dram_only == pytest.approx(16 * 8 * DRAM_DOLLARS_PER_GIB)
+        # Sanity: the DIMM price is ~$150 per 16 decimal-GB.
+        assert 9.0 < DRAM_DOLLARS_PER_GIB < 11.0
+
+    def test_cost_analysis_report(self):
+        report = cost_analysis(TINY)
+        assert len(report.rows) == 4
+        by_label = {row[0]: row for row in report.rows}
+        # R-SSD(8:8:1): 9 provisioned machines, 1 SSD.
+        assert by_label["R-SSD(8:8:1)"][1] == 9
+        assert by_label["R-SSD(8:8:1)"][2] == 1
+        # Its memory subsystem costs less than the 16-node DRAM baseline.
+        assert by_label["R-SSD(8:8:1)"][3] < by_label["DRAM(2:16:0)"][3] * 1.1
+        assert report.verified

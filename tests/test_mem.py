@@ -1,0 +1,258 @@
+"""Tests for the page-cache model and mmap emulation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MmapError
+from repro.fusefs import FuseMount, OpenFlags
+from repro.mem import MmapRegion, PageCache, Protection
+from repro.store import CHUNK_SIZE, PAGE_SIZE
+from repro.util.units import KiB, MiB
+from tests.conftest import run
+
+
+@pytest.fixture
+def mount(small_cluster, store):
+    return FuseMount(small_cluster.node(1), store, cache_bytes=1 * MiB)
+
+
+@pytest.fixture
+def pagecache(mount):
+    return PageCache(mount, capacity_bytes=256 * KiB)
+
+
+def make_file(engine, mount, name, size):
+    def proc():
+        fd = yield from mount.open(
+            name, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+        )
+        return fd
+
+    return run(engine, proc())
+
+
+class TestPageCache:
+    def test_too_small_rejected(self, mount):
+        with pytest.raises(MmapError):
+            PageCache(mount, capacity_bytes=100)
+
+    def test_read_your_writes(self, engine, mount, pagecache):
+        make_file(engine, mount, "/f", CHUNK_SIZE)
+
+        def proc():
+            yield from pagecache.write("/f", 123, b"page-cache data")
+            return (yield from pagecache.read("/f", 123, 15))
+
+        assert run(engine, proc()) == b"page-cache data"
+
+    def test_hit_rate_on_reuse(self, engine, mount, pagecache):
+        make_file(engine, mount, "/f", CHUNK_SIZE)
+
+        def proc():
+            yield from pagecache.read("/f", 0, PAGE_SIZE)
+            for _ in range(9):
+                yield from pagecache.read("/f", 0, PAGE_SIZE)
+
+        run(engine, proc())
+        assert pagecache.stats.hits >= 9
+
+    def test_eviction_writes_back(self, engine, mount, pagecache):
+        size = 512 * KiB
+        make_file(engine, mount, "/f", size)
+
+        def proc():
+            # Dirty more pages than the cache holds, forcing evictions.
+            for offset in range(0, size, PAGE_SIZE):
+                yield from pagecache.write(
+                    "/f", offset, bytes([offset % 251]) * PAGE_SIZE
+                )
+            yield from pagecache.sync_path("/f")
+            # Read through a cold page cache: data must have survived.
+            yield from pagecache.drop_path("/f")
+            for offset in range(0, size, 64 * KiB):
+                got = yield from pagecache.read("/f", offset, PAGE_SIZE)
+                assert got == bytes([offset % 251]) * PAGE_SIZE
+
+        run(engine, proc())
+        assert pagecache.stats.writeback_bytes > 0
+
+    def test_range_larger_than_cache(self, engine, mount, pagecache):
+        size = 512 * KiB  # cache is 256 KiB
+
+        make_file(engine, mount, "/f", size)
+
+        def proc():
+            payload = bytes(range(256)) * (size // 256)
+            yield from pagecache.write("/f", 0, payload)
+            got = yield from pagecache.read("/f", 0, size)
+            return got == payload
+
+        assert run(engine, proc())
+
+    def test_bounds_checked(self, engine, mount, pagecache):
+        make_file(engine, mount, "/f", 1000)
+        with pytest.raises(MmapError):
+            run(engine, pagecache.read("/f", 900, 200))
+
+    def test_fault_charges_fuse_overhead(self, engine, mount):
+        pagecache = PageCache(
+            mount, capacity_bytes=256 * KiB, fuse_op_overhead=1e-3
+        )
+        make_file(engine, mount, "/f", CHUNK_SIZE)
+
+        def proc():
+            start = engine.now
+            yield from pagecache.read("/f", 0, 4 * PAGE_SIZE)
+            return engine.now - start
+
+        elapsed = run(engine, proc())
+        assert elapsed >= 4e-3  # 4 pages x 1ms
+
+
+class TestMmapRegion:
+    def make_region(self, engine, mount, pagecache, size=CHUNK_SIZE, **kwargs):
+        make_file(engine, mount, "/m", size)
+        return MmapRegion(pagecache, "/m", size, **kwargs)
+
+    def test_rw_roundtrip(self, engine, mount, pagecache):
+        region = self.make_region(engine, mount, pagecache)
+
+        def proc():
+            yield from region.write(100, b"mapped bytes")
+            return (yield from region.read(100, 12))
+
+        assert run(engine, proc()) == b"mapped bytes"
+
+    def test_mapping_bounds(self, engine, mount, pagecache):
+        make_file(engine, mount, "/m", 1000)
+        with pytest.raises(MmapError):
+            MmapRegion(pagecache, "/m", 2000)
+
+    def test_access_bounds(self, engine, mount, pagecache):
+        region = self.make_region(engine, mount, pagecache, size=1000)
+        with pytest.raises(MmapError):
+            run(engine, region.read(990, 20))
+
+    def test_protection_enforced(self, engine, mount, pagecache):
+        region = self.make_region(
+            engine, mount, pagecache, prot=Protection.PROT_READ
+        )
+        with pytest.raises(MmapError):
+            run(engine, region.write(0, b"x"))
+
+    def test_shared_propagates_to_file(self, engine, mount, pagecache):
+        region = self.make_region(engine, mount, pagecache)
+
+        def proc():
+            yield from region.write(0, b"shared!")
+            yield from region.msync()
+            yield from mount.cache.flush_path("/m")
+            fd = yield from mount.open("/m", OpenFlags.O_RDONLY)
+            return (yield from mount.pread(fd, 0, 7))
+
+        assert run(engine, proc()) == b"shared!"
+
+    def test_private_does_not_touch_file(self, engine, mount, pagecache):
+        region = self.make_region(engine, mount, pagecache, shared=False)
+
+        def proc():
+            yield from region.write(50, b"private")
+            mine = yield from region.read(50, 7)
+            fd = yield from mount.open("/m", OpenFlags.O_RDONLY)
+            underlying = yield from mount.pread(fd, 50, 7)
+            return mine, underlying
+
+        mine, underlying = run(engine, proc())
+        assert mine == b"private"
+        assert underlying == bytes(7)
+
+    def test_private_overlay_straddles_pages(self, engine, mount, pagecache):
+        region = self.make_region(engine, mount, pagecache, shared=False)
+        payload = b"P" * (PAGE_SIZE + 100)
+
+        def proc():
+            yield from region.write(PAGE_SIZE - 50, payload)
+            return (yield from region.read(PAGE_SIZE - 50, len(payload)))
+
+        assert run(engine, proc()) == payload
+
+    def test_munmap_invalidates(self, engine, mount, pagecache):
+        region = self.make_region(engine, mount, pagecache)
+
+        def proc():
+            yield from region.write(0, b"x")
+            yield from region.munmap()
+
+        run(engine, proc())
+        assert not region.mapped
+        with pytest.raises(MmapError):
+            run(engine, region.read(0, 1))
+
+    def test_munmap_idempotent(self, engine, mount, pagecache):
+        region = self.make_region(engine, mount, pagecache)
+        run(engine, region.munmap())
+        run(engine, region.munmap())  # no-op, no error
+
+    def test_offset_mapping(self, engine, mount, pagecache):
+        make_file(engine, mount, "/m", CHUNK_SIZE)
+        region = MmapRegion(
+            pagecache, "/m", 1000, offset=PAGE_SIZE
+        )
+
+        def proc():
+            yield from region.write(0, b"offset")
+            got = yield from region.read(0, 6)
+            raw = yield from pagecache.read("/m", PAGE_SIZE, 6)
+            return got, raw
+
+        got, raw = run(engine, proc())
+        assert got == b"offset"
+        assert raw == b"offset"
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=CHUNK_SIZE + PAGE_SIZE),
+            st.integers(min_value=1, max_value=3 * PAGE_SIZE),
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    data=st.data(),
+)
+def test_property_region_matches_bytearray(
+    engine, small_cluster, store, ops, data
+):
+    """A shared mapping behaves like a byte array under arbitrary access
+    patterns, across a deliberately tiny page cache."""
+    mount = FuseMount(small_cluster.node(3), store, cache_bytes=2 * CHUNK_SIZE)
+    pagecache = PageCache(mount, capacity_bytes=16 * PAGE_SIZE)
+    size = 2 * CHUNK_SIZE
+    name = f"/pm/{data.draw(st.integers(min_value=0, max_value=10**9))}"
+    make_file(engine, mount, name, size)
+    region = MmapRegion(pagecache, name, size)
+    reference = bytearray(size)
+
+    def proc():
+        for i, (is_write, offset, length) in enumerate(ops):
+            offset = min(offset, size - 1)
+            length = min(length, size - offset)
+            if is_write:
+                payload = bytes([(i * 13 + 7) % 256]) * length
+                yield from region.write(offset, payload)
+                reference[offset : offset + length] = payload
+            else:
+                got = yield from region.read(offset, length)
+                assert got == bytes(reference[offset : offset + length])
+        whole = yield from region.read(0, size)
+        assert whole == bytes(reference)
+
+    run(engine, proc())

@@ -1,0 +1,99 @@
+"""Tests for the parallel-file-system substrate."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.pfs import ParallelFileSystem
+from repro.sim import Engine
+from repro.util.units import KiB, MB, MiB
+from tests.conftest import run
+
+
+@pytest.fixture
+def pfs(engine, small_cluster):
+    return ParallelFileSystem(
+        engine, small_cluster.network, num_servers=2, stripe_size=1 * MiB
+    )
+
+
+class TestNamespace:
+    def test_create_and_size(self, pfs):
+        pfs.create("/scratch/a", 1000)
+        assert pfs.exists("/scratch/a")
+        assert pfs.size("/scratch/a") == 1000
+
+    def test_duplicate_rejected(self, pfs):
+        pfs.create("/a", 10)
+        with pytest.raises(StoreError):
+            pfs.create("/a", 10)
+        with pytest.raises(StoreError):
+            pfs.put_initial("/a", b"x")
+
+    def test_unlink(self, pfs):
+        pfs.create("/a", 10)
+        pfs.unlink("/a")
+        assert not pfs.exists("/a")
+        with pytest.raises(StoreError):
+            pfs.unlink("/a")
+
+    def test_needs_servers(self, engine, small_cluster):
+        with pytest.raises(StoreError):
+            ParallelFileSystem(engine, small_cluster.network, num_servers=0)
+
+
+class TestDataPath:
+    def test_roundtrip(self, engine, pfs):
+        pfs.create("/f", 4 * MiB)
+        payload = bytes(range(256)) * 8192  # 2 MiB crossing a stripe
+
+        def proc():
+            yield from pfs.write("node001", "/f", 512 * KiB, payload)
+            return (yield from pfs.read("node002", "/f", 512 * KiB, len(payload)))
+
+        assert run(engine, proc()) == payload
+
+    def test_put_initial_readable(self, engine, pfs):
+        pfs.put_initial("/f", b"staged before the job")
+
+        def proc():
+            return (yield from pfs.read("node000", "/f", 7, 6))
+
+        assert run(engine, proc()) == b"before"
+
+    def test_bounds(self, engine, pfs):
+        pfs.create("/f", 100)
+        with pytest.raises(StoreError):
+            run(engine, pfs.read("node000", "/f", 90, 20))
+
+    def test_striping_spreads_servers(self, engine, pfs):
+        pfs.create("/f", 4 * MiB)
+
+        def proc():
+            yield from pfs.write("node000", "/f", 0, bytes(4 * MiB))
+
+        run(engine, proc())
+        for server in pfs.servers:
+            assert server.bytes_written() == 2 * MiB
+
+    def test_aggregate_bandwidth_bound(self, engine, pfs):
+        """A large sequential read is bounded by server bandwidth, not
+        per-request latency."""
+        pfs.create("/f", 8 * MiB)
+
+        def proc():
+            start = engine.now
+            yield from pfs.read("node000", "/f", 0, 8 * MiB)
+            return engine.now - start
+
+        elapsed = run(engine, proc())
+        # 2 servers x 120 MB/s striped, but the single client NIC (234
+        # MB/s) and request serialization bound it below ideal; just
+        # check it is bandwidth-scale, not seek-scale (which would be
+        # 8 MiB / 1 MiB stripes * 8 ms = 64 ms of pure seeking).
+        floor = 8 * MiB / (240 * MB)
+        assert elapsed >= floor
+        assert elapsed < 10 * floor
+
+    def test_read_raw_matches(self, engine, pfs):
+        pfs.put_initial("/f", b"ground truth")
+        assert pfs.read_raw("/f") == b"ground truth"

@@ -1,0 +1,111 @@
+"""Tests for the raw local-SSD array (the Table III baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.base import AccessKind
+from repro.errors import DeviceError
+from repro.util.units import KiB
+from repro.workloads.rawssd import KERNEL_READAHEAD, RawSSDArray
+from tests.conftest import run
+
+
+@pytest.fixture
+def raw_array(small_cluster):
+    # Cache comfortably larger than the readahead window so hot pages
+    # are not evicted by their own window's tail.
+    return RawSSDArray(
+        small_cluster.node(1),
+        (32 * 1024,),
+        np.dtype(np.float64),
+        cache_bytes=256 * KiB,
+    )
+
+
+class TestRawSSDArray:
+    def test_requires_local_ssd(self, small_cluster):
+        node = small_cluster.node(0)
+        fake = type(node).__new__(type(node))
+        fake.ssd = None
+        fake.name = "bare"
+        with pytest.raises(DeviceError):
+            RawSSDArray(fake, (10,), np.dtype(np.float64), cache_bytes=4096)
+
+    def test_capacity_checked(self, small_cluster):
+        node = small_cluster.node(1)
+        with pytest.raises(DeviceError):
+            RawSSDArray(
+                node, (10**12,), np.dtype(np.float64), cache_bytes=4096
+            )
+
+    def test_roundtrip(self, engine, raw_array):
+        def proc():
+            yield from raw_array.write_slice(100, np.arange(50.0))
+            return (yield from raw_array.read_slice(100, 150))
+
+        assert np.array_equal(run(engine, proc()), np.arange(50.0))
+
+    def test_readahead_fetches_window(self, engine, raw_array):
+        ssd = raw_array.ssd
+
+        def proc():
+            before = ssd.bytes_read()
+            yield from raw_array.read_slice(0, 1)  # one element
+            return ssd.bytes_read() - before
+
+        fetched = run(engine, proc())
+        assert fetched == KERNEL_READAHEAD
+
+    def test_cache_hit_skips_device(self, engine, raw_array):
+        ssd = raw_array.ssd
+
+        def proc():
+            yield from raw_array.read_slice(0, 512)
+            before = ssd.bytes_read()
+            yield from raw_array.read_slice(0, 512)  # same pages
+            return ssd.bytes_read() - before
+
+        assert run(engine, proc()) == 0
+
+    def test_eviction_persists_dirty_pages(self, engine, small_cluster):
+        # Cache of 2 pages: writing 8 pages forces dirty evictions.
+        arr = RawSSDArray(
+            small_cluster.node(1), (4096,), np.dtype(np.float64),
+            cache_bytes=8 * KiB,
+        )
+
+        def proc():
+            yield from arr.write_slice(0, np.arange(4096.0))
+            return (yield from arr.read_slice(0, 4096))
+
+        assert np.array_equal(run(engine, proc()), np.arange(4096.0))
+
+    def test_flush_writes_all_dirty(self, engine, raw_array):
+        ssd = raw_array.ssd
+
+        def proc():
+            yield from raw_array.write_slice(0, np.ones(1024))
+            before = ssd.bytes_written()
+            yield from raw_array.flush()
+            return ssd.bytes_written() - before
+
+        assert run(engine, proc()) == 1024 * 8
+
+    def test_bounds(self, engine, raw_array):
+        with pytest.raises(IndexError):
+            run(engine, raw_array.read_bytes(raw_array.nbytes, 1))
+        with pytest.raises(IndexError):
+            run(engine, raw_array.write_bytes(raw_array.nbytes - 1, b"xx"))
+
+    def test_fault_overhead_charged(self, engine, small_cluster):
+        arr = RawSSDArray(
+            small_cluster.node(2), (1024,), np.dtype(np.float64),
+            cache_bytes=64 * KiB, fault_overhead=1e-3,
+        )
+
+        def proc():
+            start = engine.now
+            yield from arr.read_slice(0, 512)  # 1 page
+            return engine.now - start
+
+        assert run(engine, proc()) >= 1e-3

@@ -1,0 +1,81 @@
+"""Disaster recovery: restore a checkpoint from its drained PFS copy."""
+
+import pytest
+
+from repro.core import NVMalloc
+from repro.errors import CheckpointError
+from repro.pfs import ParallelFileSystem
+from repro.store import CHUNK_SIZE
+from repro.util.units import KiB
+from tests.conftest import run
+
+
+@pytest.fixture
+def lib(small_cluster, store):
+    return NVMalloc(
+        small_cluster.node(1), store,
+        fuse_cache_bytes=512 * KiB, page_cache_bytes=256 * KiB,
+    )
+
+
+@pytest.fixture
+def pfs(engine, small_cluster):
+    return ParallelFileSystem(engine, small_cluster.network, num_servers=2)
+
+
+class TestRestoreFromPfs:
+    def test_roundtrip_after_store_copy_deleted(self, engine, lib, pfs):
+        def scenario():
+            var = yield from lib.ssdmalloc(2 * CHUNK_SIZE)
+            yield from var.write(0, b"survives the store")
+            yield from lib.ssdcheckpoint("dr", 0, b"STEP=0", [("v", var)])
+            yield from lib.drain_checkpoint_to_pfs("dr", 0, pfs)
+            # Disaster: the live variable AND the store's checkpoint file
+            # are gone; only the PFS copy remains.
+            yield from lib.ssdfree(var)
+            yield from lib.mount.unlink(lib.checkpoint_record("dr", 0).path)
+            dram, variables = yield from lib.restore_from_pfs("dr", 0, pfs)
+            return dram, variables["v"][:18]
+
+        dram, v = run(engine, scenario())
+        assert dram == b"STEP=0"
+        assert v == b"survives the store"
+
+    def test_matches_store_restore_bit_exactly(self, engine, lib, pfs):
+        def scenario():
+            var = yield from lib.ssdmalloc(CHUNK_SIZE + 777)
+            yield from var.write(100, bytes(range(256)) * 4)
+            yield from lib.ssdcheckpoint("eq", 3, b"m" * 5000, [("v", var)])
+            yield from lib.drain_checkpoint_to_pfs("eq", 3, pfs)
+            from_store = yield from lib.restore("eq", 3)
+            from_pfs = yield from lib.restore_from_pfs("eq", 3, pfs)
+            yield from lib.ssdfree(var)
+            return from_store, from_pfs
+
+        from_store, from_pfs = run(engine, scenario())
+        assert from_store == from_pfs
+
+    def test_missing_drain_rejected(self, engine, lib, pfs):
+        def scenario():
+            var = yield from lib.ssdmalloc(CHUNK_SIZE)
+            yield from lib.ssdcheckpoint("nope", 0, b"", [("v", var)])
+            yield from lib.restore_from_pfs("nope", 0, pfs)
+
+        with pytest.raises(CheckpointError):
+            run(engine, scenario())
+
+    def test_custom_source_name(self, engine, lib, pfs):
+        def scenario():
+            var = yield from lib.ssdmalloc(CHUNK_SIZE)
+            yield from var.write(0, b"aliased")
+            yield from lib.ssdcheckpoint("al", 0, b"d", [("v", var)])
+            yield from lib.drain_checkpoint_to_pfs(
+                "al", 0, pfs, dest="archive/al-final"
+            )
+            _, variables = yield from lib.restore_from_pfs(
+                "al", 0, pfs, source="archive/al-final"
+            )
+            yield from lib.ssdfree(var)
+            return variables["v"][:7]
+
+        assert run(engine, scenario()) == b"aliased"

@@ -1,0 +1,107 @@
+"""Tests for the GTS-like science-application workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, NVMallocError
+from repro.experiments.configs import TINY
+from repro.experiments.runner import Testbed
+from repro.util.units import KiB, MiB
+from repro.workloads import ScienceAppConfig, run_science_app
+from repro.workloads.science_app import reference_run
+
+
+def make_job(x=2, y=2, z=2, dram=None):
+    scale = TINY.with_(cpu_slowdown=1.0)
+    if dram is not None:
+        scale = scale.with_(dram_per_node=dram)
+    testbed = Testbed(scale)
+    return testbed, testbed.job(x, y, z)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(NVMallocError):
+            ScienceAppConfig(placement="tape")
+        with pytest.raises(NVMallocError):
+            ScienceAppConfig(steps=0)
+
+    def test_sizes(self):
+        config = ScienceAppConfig(particles_per_rank=1000, grid_cells=64)
+        assert config.particle_bytes_per_rank == 16_000
+        assert config.field_bytes == 512
+
+
+class TestReference:
+    def test_deterministic(self):
+        config = ScienceAppConfig(particles_per_rank=256, grid_cells=64, steps=3)
+        assert reference_run(config, 4) == reference_run(config, 4)
+
+    def test_positions_stay_in_grid(self):
+        config = ScienceAppConfig(particles_per_rank=512, grid_cells=64, steps=5)
+        total = reference_run(config, 2)
+        assert 0.0 <= total <= 2 * 512 * 64
+
+
+class TestRun:
+    @pytest.mark.parametrize("placement", ["dram", "nvm"])
+    def test_matches_reference(self, placement):
+        testbed, job = make_job()
+        config = ScienceAppConfig(
+            particles_per_rank=1 << 11, grid_cells=256, steps=3,
+            checkpoint_every=0, placement=placement,
+        )
+        result = run_science_app(job, config)
+        assert result.verified, f"{placement} run diverged from reference"
+        assert result.placements["particles"] == placement
+
+    def test_auto_placement_spills_when_tight(self):
+        testbed, job = make_job()
+        config = ScienceAppConfig(
+            particles_per_rank=1 << 12, grid_cells=256, steps=2,
+            checkpoint_every=0, placement="auto",
+            dram_budget_per_rank=4 * KiB,  # nothing fits
+        )
+        result = run_science_app(job, config)
+        assert result.verified
+        assert result.placements["particles"] == "nvm"
+
+    def test_auto_placement_prefers_dram_when_roomy(self):
+        testbed, job = make_job()
+        config = ScienceAppConfig(
+            particles_per_rank=1 << 10, grid_cells=256, steps=2,
+            checkpoint_every=0, placement="auto",
+            dram_budget_per_rank=1 * MiB,
+        )
+        result = run_science_app(job, config)
+        assert result.verified
+        assert result.placements["particles"] == "dram"
+
+    def test_checkpointing_links_particles(self):
+        testbed, job = make_job()
+        config = ScienceAppConfig(
+            particles_per_rank=1 << 12, grid_cells=256, steps=4,
+            checkpoint_every=2, placement="nvm",
+        )
+        result = run_science_app(job, config)
+        assert result.verified
+        assert result.restart_verified
+        # 8 ranks x 2 checkpoints each.
+        assert result.checkpoints_taken == job.config.num_ranks * 2
+        assert result.checkpoint_bytes_linked > result.checkpoint_bytes_written
+
+    def test_out_of_core_beats_infeasible_dram(self):
+        """Particles too big for DRAM: dram placement fails, nvm runs."""
+        testbed, job = make_job(dram=2 * MiB)
+        big = ScienceAppConfig(
+            particles_per_rank=1 << 15, grid_cells=256, steps=1,
+            checkpoint_every=0, placement="dram", verify=False,
+        )
+        with pytest.raises(CapacityError):
+            run_science_app(job, big)
+        testbed2, job2 = make_job(dram=2 * MiB)
+        nvm = ScienceAppConfig(
+            particles_per_rank=1 << 15, grid_cells=256, steps=1,
+            checkpoint_every=0, placement="nvm",
+        )
+        assert run_science_app(job2, nvm).verified

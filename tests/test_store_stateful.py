@@ -1,0 +1,134 @@
+"""Stateful property test of the aggregate store's metadata machine.
+
+Hypothesis drives random sequences of create / write / read / link /
+delete operations against a reference model of files as byte arrays with
+snapshot semantics for linked checkpoints.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cluster import make_hal_cluster
+from repro.cluster.hal import HalConfig
+from repro.sim import Engine
+from repro.store import CHUNK_SIZE, Benefactor, Manager, StoreClient
+from repro.util.units import MiB
+
+MAX_FILE_CHUNKS = 3
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """The store must behave like named byte arrays with chunk linking."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.engine = Engine()
+        cluster = make_hal_cluster(
+            self.engine,
+            HalConfig(num_nodes=3, cores_per_node=2, dram_per_node=8 * MiB,
+                      ssd_per_node=32 * MiB),
+        )
+        self.manager = Manager(cluster.node(0))
+        for node in cluster.nodes:
+            self.manager.register_benefactor(
+                Benefactor(node, contribution=8 * MiB)
+            )
+        self.client = StoreClient(cluster.node(1), self.manager)
+        self.model: dict[str, bytearray] = {}
+        self.frozen: dict[str, bytes] = {}  # checkpoint name -> linked image
+        self.counter = 0
+
+    def _run(self, generator):
+        return self.engine.run(self.engine.process(generator))
+
+    # ------------------------------------------------------------------
+    @rule(nchunks=st.integers(min_value=1, max_value=MAX_FILE_CHUNKS))
+    def create_file(self, nchunks):
+        name = f"/sm/{self.counter}"
+        self.counter += 1
+        size = nchunks * CHUNK_SIZE
+        self._run(self.client.create(name, size))
+        self.model[name] = bytearray(size)
+
+    @precondition(lambda self: self.model)
+    @rule(
+        data=st.data(),
+        offset_frac=st.floats(0, 1),
+        payload=st.binary(min_size=1, max_size=3000),
+    )
+    def write(self, data, offset_frac, payload):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        size = len(self.model[name])
+        offset = min(int(offset_frac * size), size - 1)
+        payload = payload[: size - offset]
+        self._run(self.client.write(name, offset, payload))
+        self.model[name][offset : offset + len(payload)] = payload
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), offset_frac=st.floats(0, 1), length=st.integers(1, 5000))
+    def read(self, data, offset_frac, length):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        size = len(self.model[name])
+        offset = min(int(offset_frac * size), size - 1)
+        length = min(length, size - offset)
+        got = self._run(self.client.read(name, offset, length))
+        assert got == bytes(self.model[name][offset : offset + length])
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def checkpoint_link(self, data):
+        """Create a checkpoint file linking an existing file's chunks."""
+        src = data.draw(st.sampled_from(sorted(self.model)))
+        ck = f"/ck/{self.counter}"
+        self.counter += 1
+        self._run(self.client.create(ck, 0))
+        self.manager.link_chunks(ck, src)
+        self.frozen[ck] = bytes(self.model[src])
+
+    @precondition(lambda self: self.frozen)
+    @rule(data=st.data())
+    def read_checkpoint(self, data):
+        ck = data.draw(st.sampled_from(sorted(self.frozen)))
+        image = self.frozen[ck]
+        got = self._run(self.client.read(ck, 0, len(image)))
+        assert got == image, "linked checkpoint image changed"
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_file(self, data):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        self._run(self.client.delete(name))
+        del self.model[name]
+
+    @precondition(lambda self: self.frozen)
+    @rule(data=st.data())
+    def delete_checkpoint(self, data):
+        ck = data.draw(st.sampled_from(sorted(self.frozen)))
+        self._run(self.client.delete(ck))
+        del self.frozen[ck]
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def reservations_are_consistent(self):
+        """Reserved space equals live chunk count times chunk size."""
+        live_chunks = len(self.manager._chunk_refs)  # noqa: SLF001
+        reserved = sum(b.reserved for b in self.manager.benefactors())
+        assert reserved == live_chunks * CHUNK_SIZE
+
+    @invariant()
+    def no_space_leak_when_empty(self):
+        if not self.model and not self.frozen:
+            assert self.manager.total_available() == self.manager.total_capacity()
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

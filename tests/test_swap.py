@@ -1,0 +1,132 @@
+"""Tests for the transparent-swap substrate (the paper's alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, DeviceError
+from repro.mem import SwapSpace, SwappedArray
+from repro.store import PAGE_SIZE
+from repro.util.units import KiB, MiB
+from tests.conftest import run
+
+
+@pytest.fixture
+def swap(small_cluster):
+    return SwapSpace(small_cluster.node(1), resident_bytes=64 * KiB)
+
+
+class TestSwapSpace:
+    def test_requires_ssd(self, small_cluster):
+        node = small_cluster.node(0)
+        fake = type(node).__new__(type(node))
+        fake.ssd = None
+        fake.name = "bare"
+        with pytest.raises(DeviceError):
+            SwapSpace(fake, resident_bytes=64 * KiB)
+
+    def test_budget_validation(self, small_cluster):
+        with pytest.raises(CapacityError):
+            SwapSpace(small_cluster.node(2), resident_bytes=100)
+
+    def test_swap_partition_exhaustion(self, small_cluster):
+        swap = SwapSpace(
+            small_cluster.node(2), resident_bytes=64 * KiB,
+            swap_bytes=256 * KiB,
+        )
+        SwappedArray(swap, (16 * 1024,), np.dtype(np.float64))  # 128 KiB
+        SwappedArray(swap, (16 * 1024,), np.dtype(np.float64))  # 256 KiB
+        with pytest.raises(CapacityError):
+            SwappedArray(swap, (1024,), np.dtype(np.float64))
+
+    def test_dram_budget_charged(self, small_cluster):
+        node = small_cluster.node(3)
+        before = node.dram.available
+        SwapSpace(node, resident_bytes=128 * KiB)
+        assert node.dram.available == before - 128 * KiB
+
+
+class TestSwappedArray:
+    def test_roundtrip_within_residency(self, engine, swap):
+        arr = SwappedArray(swap, (1024,), np.dtype(np.float64))
+
+        def proc():
+            yield from arr.write_slice(0, np.arange(1024.0))
+            return (yield from arr.read_slice(0, 1024))
+
+        assert np.array_equal(run(engine, proc()), np.arange(1024.0))
+
+    def test_roundtrip_through_swap(self, engine, swap):
+        """Working set 4x the residency budget: data survives eviction."""
+        n = 32 * 1024  # 256 KiB vs 64 KiB resident
+        arr = SwappedArray(swap, (n,), np.dtype(np.float64))
+
+        def proc():
+            yield from arr.write_slice(0, np.arange(float(n)))
+            # Sweep twice: the second pass re-faults everything.
+            total = 0.0
+            for start in range(0, n, 4096):
+                piece = yield from arr.read_slice(start, start + 4096)
+                total += piece.sum()
+            return total
+
+        assert run(engine, proc()) == np.arange(float(n)).sum()
+        assert swap.swapouts > 0
+        assert swap.swapins > 0
+
+    def test_two_arrays_share_the_lru(self, engine, swap):
+        """A cold scan of one array evicts the other's hot pages — the
+        lack of control the paper's explicit placement avoids."""
+        hot = SwappedArray(swap, (1024,), np.dtype(np.float64))
+        cold = SwappedArray(swap, (32 * 1024,), np.dtype(np.float64))
+
+        def proc():
+            yield from hot.write_slice(0, np.ones(1024.0.__int__() if False else 1024))
+            faults_before = swap.major_faults
+            yield from hot.read_slice(0, 1024)  # resident: no faults
+            assert swap.major_faults == faults_before
+            # Cold streaming scan blows the residency budget.
+            for start in range(0, 32 * 1024, 4096):
+                yield from cold.read_slice(start, start + 4096)
+            faults_mid = swap.major_faults
+            got = yield from hot.read_slice(0, 1024)  # must re-fault
+            assert swap.major_faults > faults_mid
+            return got
+
+        assert np.array_equal(run(engine, proc()), np.ones(1024))
+
+    def test_readahead_cluster(self, engine, swap):
+        n = 16 * 1024
+        arr = SwappedArray(swap, (n,), np.dtype(np.float64))
+
+        def proc():
+            # Fill, then push everything out with a second array scan.
+            yield from arr.write_slice(0, np.zeros(n))
+            other = SwappedArray(swap, (16 * 1024,), np.dtype(np.float64))
+            yield from other.read_slice(0, 16 * 1024)
+            faults_before = swap.major_faults
+            # One page of access faults a cluster of 8 pages.
+            yield from arr.read_slice(0, PAGE_SIZE // 8)
+            yield from arr.read_slice(PAGE_SIZE // 8, 2 * (PAGE_SIZE // 8))
+            return swap.major_faults - faults_before
+
+        assert run(engine, proc()) == 1  # second access rode the cluster
+
+    def test_bounds(self, engine, swap):
+        arr = SwappedArray(swap, (100,), np.dtype(np.float64))
+        with pytest.raises(IndexError):
+            run(engine, arr.read_bytes(800, 1))
+
+    def test_dirty_pages_written_clean_pages_not(self, engine, small_cluster):
+        swap = SwapSpace(small_cluster.node(2), resident_bytes=32 * KiB)
+        arr = SwappedArray(swap, (16 * 1024,), np.dtype(np.float64))
+        ssd_before = swap.ssd.bytes_written()
+
+        def proc():
+            # Read-only sweep: faults pages in, never dirties them.
+            for start in range(0, 16 * 1024, 2048):
+                yield from arr.read_slice(start, start + 2048)
+            return True
+
+        assert run(engine, proc())
+        assert swap.swapouts == 0
+        assert swap.ssd.bytes_written() == ssd_before

@@ -1,0 +1,116 @@
+"""Boundary tests: files and regions that do not align to pages/chunks."""
+
+import pytest
+
+from repro.fusefs import FuseMount, OpenFlags
+from repro.mem import MmapRegion, PageCache
+from repro.store import CHUNK_SIZE, PAGE_SIZE
+from repro.util.units import KiB, MiB
+from tests.conftest import run
+
+
+@pytest.fixture
+def mount(small_cluster, store):
+    return FuseMount(small_cluster.node(2), store, cache_bytes=1 * MiB)
+
+
+AWKWARD_SIZES = [
+    1,  # single byte file
+    PAGE_SIZE - 1,
+    PAGE_SIZE + 1,
+    CHUNK_SIZE - 1,
+    CHUNK_SIZE + 1,
+    CHUNK_SIZE + PAGE_SIZE + 37,
+    2 * CHUNK_SIZE - 3,
+]
+
+
+class TestUnalignedFiles:
+    @pytest.mark.parametrize("size", AWKWARD_SIZES)
+    def test_full_file_roundtrip(self, engine, mount, size):
+        payload = bytes((i * 31 + 7) % 256 for i in range(size))
+        name = f"/tail/{size}"
+
+        def proc():
+            fd = yield from mount.open(
+                name, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+            )
+            yield from mount.pwrite(fd, 0, payload)
+            yield from mount.fsync(fd)
+            mount.cache.invalidate_path(name)
+            back = yield from mount.pread(fd, 0, size)
+            yield from mount.close(fd)
+            return back
+
+        assert run(engine, proc()) == payload
+
+    @pytest.mark.parametrize("size", AWKWARD_SIZES)
+    def test_last_byte(self, engine, mount, size):
+        name = f"/last/{size}"
+
+        def proc():
+            fd = yield from mount.open(
+                name, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+            )
+            yield from mount.pwrite(fd, size - 1, b"\xff")
+            yield from mount.fsync(fd)
+            mount.cache.invalidate_path(name)
+            return (yield from mount.pread(fd, size - 1, 1))
+
+        assert run(engine, proc()) == b"\xff"
+
+    def test_write_past_end_rejected(self, engine, mount):
+        def proc():
+            fd = yield from mount.open(
+                "/bounded", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=100
+            )
+            yield from mount.pwrite(fd, 99, b"ab")
+
+        from repro.errors import FuseError
+
+        with pytest.raises(FuseError):
+            run(engine, proc())
+
+
+class TestUnalignedMappings:
+    @pytest.mark.parametrize("size", [PAGE_SIZE + 13, CHUNK_SIZE + 999])
+    def test_region_roundtrip(self, engine, mount, size):
+        pagecache = PageCache(mount, capacity_bytes=32 * KiB)
+        name = f"/map/{size}"
+
+        def proc():
+            fd = yield from mount.open(
+                name, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+            )
+            yield from mount.close(fd)
+            region = MmapRegion(pagecache, name, size)
+            payload = bytes(i % 251 for i in range(size))
+            yield from region.write(0, payload)
+            # Evict everything so reads fault through the tail page.
+            yield from pagecache.sync_path(name)
+            yield from pagecache.drop_path(name)
+            back = yield from region.read(0, size)
+            yield from region.munmap()
+            return back == payload
+
+        assert run(engine, proc())
+
+    def test_tail_page_partial_flush(self, engine, mount):
+        """Flushing the final, partial page writes only the real bytes."""
+        pagecache = PageCache(mount, capacity_bytes=32 * KiB)
+        size = PAGE_SIZE + 100
+
+        def proc():
+            fd = yield from mount.open(
+                "/tailpage", OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+            )
+            yield from mount.close(fd)
+            region = MmapRegion(pagecache, "/tailpage", size)
+            yield from region.write(PAGE_SIZE, b"z" * 100)
+            yield from region.msync()
+            yield from mount.cache.flush_path("/tailpage")
+            mount.cache.invalidate_path("/tailpage")
+            fd = yield from mount.open("/tailpage", OpenFlags.O_RDONLY)
+            return (yield from mount.pread(fd, PAGE_SIZE, 100))
+
+        assert run(engine, proc()) == b"z" * 100

@@ -1,0 +1,187 @@
+"""Tests for the IntervalSet used by dirty-range tracking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import IntervalSet
+
+
+class TestAdd:
+    def test_empty(self):
+        s = IntervalSet()
+        assert not s
+        assert s.total() == 0
+
+    def test_single(self):
+        s = IntervalSet()
+        s.add(3, 7)
+        assert list(s) == [(3, 7)]
+        assert s.total() == 4
+
+    def test_zero_length_is_noop(self):
+        s = IntervalSet()
+        s.add(5, 5)
+        assert not s
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add(7, 3)
+
+    def test_disjoint_stay_sorted(self):
+        s = IntervalSet()
+        s.add(10, 20)
+        s.add(0, 5)
+        s.add(30, 40)
+        assert list(s) == [(0, 5), (10, 20), (30, 40)]
+
+    def test_overlap_coalesces(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(5, 15)
+        assert list(s) == [(0, 15)]
+
+    def test_adjacent_coalesces(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(10, 20)
+        assert list(s) == [(0, 20)]
+
+    def test_bridge_merges_many(self):
+        s = IntervalSet([(0, 2), (4, 6), (8, 10)])
+        s.add(1, 9)
+        assert list(s) == [(0, 10)]
+
+    def test_contained_is_noop(self):
+        s = IntervalSet([(0, 100)])
+        s.add(40, 60)
+        assert list(s) == [(0, 100)]
+
+
+class TestDiscard:
+    def test_exact_removal(self):
+        s = IntervalSet([(3, 7)])
+        s.discard(3, 7)
+        assert not s
+
+    def test_splits_interval(self):
+        s = IntervalSet([(0, 10)])
+        s.discard(4, 6)
+        assert list(s) == [(0, 4), (6, 10)]
+
+    def test_trims_head_and_tail(self):
+        s = IntervalSet([(0, 10), (20, 30)])
+        s.discard(5, 25)
+        assert list(s) == [(0, 5), (25, 30)]
+
+    def test_disjoint_is_noop(self):
+        s = IntervalSet([(0, 5)])
+        s.discard(10, 20)
+        assert list(s) == [(0, 5)]
+
+    def test_adjacent_boundary_untouched(self):
+        s = IntervalSet([(0, 5)])
+        s.discard(5, 10)
+        assert list(s) == [(0, 5)]
+
+
+class TestQueries:
+    def test_contains(self):
+        s = IntervalSet([(2, 5), (8, 12)])
+        assert s.contains(2)
+        assert s.contains(4)
+        assert not s.contains(5)
+        assert not s.contains(7)
+        assert s.contains(11)
+
+    def test_overlaps(self):
+        s = IntervalSet([(10, 20)])
+        assert s.overlaps(15, 25)
+        assert s.overlaps(0, 11)
+        assert not s.overlaps(0, 10)
+        assert not s.overlaps(20, 30)
+        assert not s.overlaps(5, 5)
+
+    def test_intersection(self):
+        s = IntervalSet([(0, 5), (10, 15), (20, 25)])
+        assert s.intersection(3, 22) == [(3, 5), (10, 15), (20, 22)]
+        assert s.intersection(5, 10) == []
+
+    def test_gaps(self):
+        s = IntervalSet([(2, 4), (6, 8)])
+        assert s.gaps(0, 10) == [(0, 2), (4, 6), (8, 10)]
+        assert s.gaps(2, 8) == [(4, 6)]
+        assert IntervalSet().gaps(0, 5) == [(0, 5)]
+
+    def test_covers(self):
+        s = IntervalSet([(0, 10)])
+        assert s.covers(0, 10)
+        assert s.covers(3, 7)
+        assert s.covers(4, 4)  # empty range trivially covered
+        assert not s.covers(5, 11)
+
+    def test_copy_is_independent(self):
+        s = IntervalSet([(0, 5)])
+        c = s.copy()
+        c.add(10, 20)
+        assert list(s) == [(0, 5)]
+        assert list(c) == [(0, 5), (10, 20)]
+
+    def test_equality(self):
+        assert IntervalSet([(0, 5)]) == IntervalSet([(0, 3), (3, 5)])
+        assert IntervalSet([(0, 5)]) != IntervalSet([(0, 6)])
+
+
+# ----------------------------------------------------------------------
+# Property-based: IntervalSet behaves exactly like a set of integers.
+# ----------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "discard"]),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=60),
+    ),
+    max_size=40,
+)
+
+
+@given(ops)
+def test_matches_reference_set_semantics(operations):
+    s = IntervalSet()
+    reference: set[int] = set()
+    for op, start, span in operations:
+        stop = start + span
+        if op == "add":
+            s.add(start, stop)
+            reference.update(range(start, stop))
+        else:
+            s.discard(start, stop)
+            reference.difference_update(range(start, stop))
+    # Same contents.
+    assert s.total() == len(reference)
+    for start, stop in s:
+        assert all(p in reference for p in range(start, stop))
+    # Canonical: sorted, disjoint, non-adjacent.
+    spans = list(s)
+    for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+        assert b1 < a2
+
+
+@given(ops, st.integers(min_value=0, max_value=260), st.integers(min_value=0, max_value=60))
+def test_gaps_and_intersection_partition_the_query(operations, start, span):
+    s = IntervalSet()
+    for op, a, width in operations:
+        if op == "add":
+            s.add(a, a + width)
+        else:
+            s.discard(a, a + width)
+    stop = start + span
+    inner = s.intersection(start, stop)
+    gaps = s.gaps(start, stop)
+    covered = sum(b - a for a, b in inner) + sum(b - a for a, b in gaps)
+    assert covered == span
+    # Pieces are disjoint and ordered when merged.
+    merged = sorted(inner + gaps)
+    for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+        assert b1 == a2

@@ -1,0 +1,97 @@
+"""Tests for metrics recording and table rendering."""
+
+import pytest
+
+from repro.util.recorder import Counter, MetricsRecorder, TimeSeries
+from repro.util.tables import render_table
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter()
+        c.add(5.0)
+        c.add(3.0)
+        assert c.total == 8.0
+        assert c.count == 2
+        assert c.mean == 4.0
+
+    def test_empty_mean(self):
+        assert Counter().mean == 0.0
+
+
+class TestTimeSeries:
+    def test_append_and_last(self):
+        ts = TimeSeries()
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert len(ts) == 2
+        assert ts.last() == 20.0
+
+    def test_empty_last_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+
+class TestMetricsRecorder:
+    def test_counters_on_demand(self):
+        m = MetricsRecorder()
+        m.add("a.b.c", 10)
+        m.add("a.b.c", 5)
+        assert m.value("a.b.c") == 15
+        assert m.count("a.b.c") == 2
+
+    def test_untouched_counter_reads_zero(self):
+        m = MetricsRecorder()
+        assert m.value("never") == 0.0
+        assert m.count("never") == 0
+
+    def test_snapshot_prefix_filter(self):
+        m = MetricsRecorder()
+        m.add("fuse.read.bytes", 100)
+        m.add("fuse.write.bytes", 50)
+        m.add("network.bytes", 7)
+        snap = m.snapshot("fuse.")
+        assert snap == {"fuse.read.bytes": 100.0, "fuse.write.bytes": 50.0}
+
+    def test_series(self):
+        m = MetricsRecorder()
+        m.sample("util", 0.0, 0.5)
+        m.sample("util", 1.0, 0.7)
+        assert m.series("util").values == [0.5, 0.7]
+
+    def test_reset(self):
+        m = MetricsRecorder()
+        m.add("x", 1)
+        m.reset()
+        assert m.value("x") == 0.0
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"],
+            [["short", 1.5], ["a-much-longer-name", 22222.0]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        # Columns align: every data row has the separator in one place.
+        positions = {
+            line.index("|") for line in lines[2:] if "|" in line
+        }
+        assert len(positions) == 1
+        assert len(positions) > 0
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.12345], [1234.5], [12.3]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text

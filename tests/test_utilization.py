@@ -1,0 +1,75 @@
+"""Tests for cluster utilization reporting."""
+
+import pytest
+
+from repro.cluster import ComponentUtilization, hottest, utilization_report
+from repro.util.units import MB
+
+
+class TestUtilizationReport:
+    def test_idle_cluster_reads_zero(self, small_cluster):
+        rows = utilization_report(small_cluster, window=1.0)
+        assert all(r.utilization == 0.0 for r in rows)
+        kinds = {r.kind for r in rows}
+        assert kinds == {"core", "dram", "ssd", "nic.tx", "nic.rx"}
+
+    def test_core_utilization_tracks_compute(self, engine, small_cluster):
+        node = small_cluster.node(0)
+
+        def worker():
+            yield from node.cores[0].compute(node.cores[0].spec.flops)  # 1 s
+
+        engine.run(engine.process(worker()))
+        rows = {
+            r.component: r
+            for r in utilization_report(small_cluster, window=engine.now)
+        }
+        # 1 of 4 cores busy the whole window.
+        assert rows["node000.cores"].utilization == pytest.approx(0.25)
+        assert rows["node001.cores"].utilization == 0.0
+
+    def test_nic_utilization_tracks_transfers(self, engine, small_cluster):
+        net = small_cluster.network
+
+        def xfer():
+            yield from net.transfer("node000", "node001", 10 * MB)
+
+        engine.run(engine.process(xfer()))
+        tx = hottest(small_cluster, "nic.tx", window=engine.now)
+        rx = hottest(small_cluster, "nic.rx", window=engine.now)
+        assert tx.component == "node000.nic.tx"
+        assert rx.component == "node001.nic.rx"
+        assert tx.utilization > 0.9  # busy nearly the whole window
+
+    def test_ssd_utilization(self, engine, small_cluster):
+        ssd = small_cluster.node(2).ssd
+        assert ssd is not None
+
+        def io():
+            yield from ssd.write_extent(0, 1 * MB)
+
+        engine.run(engine.process(io()))
+        row = hottest(small_cluster, "ssd", window=engine.now)
+        assert row.component == "node002.ssd"
+        assert row.utilization > 0.9
+
+    def test_hottest_unknown_kind(self, small_cluster):
+        with pytest.raises(ValueError):
+            hottest(small_cluster, "gpu")
+
+    def test_rows_sorted_hot_first(self, engine, small_cluster):
+        def io(node_id, size):
+            ssd = small_cluster.node(node_id).ssd
+            yield from ssd.write_extent(0, size)
+
+        engine.run_all([
+            engine.process(io(0, 4 * MB)),
+            engine.process(io(1, 1 * MB)),
+        ])
+        ssd_rows = [
+            r for r in utilization_report(small_cluster, window=engine.now)
+            if r.kind == "ssd"
+        ]
+        assert ssd_rows[0].component == "node000.ssd"
+        utils = [r.utilization for r in ssd_rows]
+        assert utils == sorted(utils, reverse=True)
