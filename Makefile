@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-wallclock experiments examples clean
 
 install:
 	pip install -e .
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-wallclock:
+	PYTHONPATH=src python tools/bench_wallclock.py \
+		--baseline benchmarks/BENCH_wallclock_seed.json --repeat 3
+	PYTHONPATH=src pytest benchmarks/test_wallclock_stack.py -m wallclock
 
 experiments:
 	python -m repro.experiments

@@ -50,12 +50,16 @@ class Core:
         self._res = Resource(engine, capacity=1, name=name)
 
     def compute(self, flops: float) -> Generator[Event, object, None]:
-        """Process generator: occupy the core for ``flops`` worth of work."""
-        yield from self._res.use(self.spec.compute_time(flops))
+        """Process generator: occupy the core for ``flops`` worth of work.
+
+        Plain function returning the resource's generator directly (no
+        wrapper frame on the per-event resume path).
+        """
+        return self._res.use(self.spec.compute_time(flops))
 
     def busy(self, seconds: float) -> Generator[Event, object, None]:
         """Process generator: occupy the core for a fixed duration."""
-        yield from self._res.use(seconds)
+        return self._res.use(seconds)
 
     def busy_seconds(self) -> float:
         """Total seconds this core has been occupied."""

@@ -48,13 +48,17 @@ class NVMVariable:
         """Internal file name on the aggregate store (library-internal)."""
         return self._backing_path
 
-    def read(self, offset: int, length: int) -> Generator[Event, object, bytes]:
-        """Read ``length`` bytes at ``offset`` (process generator)."""
-        return (yield from self.region.read(offset, length))
+    def read(self, offset: int, length: int) -> Generator[Event, object, bytearray]:
+        """Read ``length`` bytes at ``offset`` (process generator).
+
+        The result is a fresh caller-owned buffer (see
+        :meth:`PageCache.read`).
+        """
+        return self.region.read(offset, length)
 
     def write(self, offset: int, data: bytes) -> Generator[Event, object, None]:
         """Write ``data`` at ``offset`` (process generator)."""
-        yield from self.region.write(offset, data)
+        return self.region.write(offset, data)
 
     def __repr__(self) -> str:
         return f"<NVMVariable {self.nbytes}B owner={self.owner}>"
@@ -101,12 +105,26 @@ class Array(abc.ABC):
 
     # -- raw byte plumbing supplied by subclasses ----------------------
     @abc.abstractmethod
-    def read_bytes(self, offset: int, length: int) -> Generator[Event, object, bytes]:
-        """Read raw bytes from the backing storage."""
+    def read_bytes(
+        self, offset: int, length: int
+    ) -> Generator[Event, object, bytes | bytearray]:
+        """Read raw bytes from the backing storage.
+
+        A ``bytearray`` result is a fresh caller-owned snapshot; a
+        ``bytes`` result may be shared and must be copied before
+        mutation.
+        """
 
     @abc.abstractmethod
-    def write_bytes(self, offset: int, data: bytes) -> Generator[Event, object, None]:
-        """Write raw bytes to the backing storage."""
+    def write_bytes(
+        self, offset: int, data: bytes | bytearray | memoryview
+    ) -> Generator[Event, object, None]:
+        """Write raw bytes to the backing storage.
+
+        ``data`` is only valid until the write generator finishes:
+        implementations must consume (copy) it before returning and may
+        not retain references to it.
+        """
 
     # -- typed access ---------------------------------------------------
     def get(self, index: int) -> Generator[Event, object, np.generic]:
@@ -126,18 +144,33 @@ class Array(abc.ABC):
         data = yield from self.read_bytes(
             start * self.itemsize, (stop - start) * self.itemsize
         )
-        return np.frombuffer(data, dtype=self.dtype).copy()
+        arr = np.frombuffer(data, dtype=self.dtype)
+        if type(data) is bytearray:
+            # A bytearray result is a fresh caller-owned snapshot (see
+            # PageCache.read): wrap it writably instead of copying.
+            return arr
+        return arr.copy()
 
     def write_slice(
         self, start: int, values: np.ndarray
     ) -> Generator[Event, object, None]:
-        """Store contiguous flat elements beginning at ``start``."""
+        """Store contiguous flat elements beginning at ``start``.
+
+        Plain function returning a process generator: validation happens
+        eagerly, then the backend's generator is handed straight to the
+        caller's ``yield from`` (no wrapper frame on the resume path).
+        """
         values = np.ascontiguousarray(values, dtype=self.dtype).ravel()
         if start < 0 or start + values.size > self.size:
             raise IndexError(
                 f"slice [{start}, {start + values.size}) out of range"
             )
-        yield from self.write_bytes(start * self.itemsize, values.tobytes())
+        # Hand the array's own bytes down instead of materializing a
+        # tobytes() copy: every write_bytes backend consumes the payload
+        # (slices, frombuffer, len) before the caller can touch the
+        # array again, because the caller is suspended until the write
+        # generator completes.
+        return self.write_bytes(start * self.itemsize, values.data.cast("B"))
 
     # -- 2-D helpers ------------------------------------------------------
     def _check_2d(self) -> tuple[int, int]:
@@ -265,13 +298,15 @@ class NVMArray(Array):
             )
         self.variable = variable
 
-    def read_bytes(self, offset: int, length: int) -> Generator[Event, object, bytes]:
+    def read_bytes(
+        self, offset: int, length: int
+    ) -> Generator[Event, object, bytearray]:
         """Read raw bytes from the backing storage."""
-        return (yield from self.variable.read(offset, length))
+        return self.variable.read(offset, length)
 
     def write_bytes(self, offset: int, data: bytes) -> Generator[Event, object, None]:
         """Write raw bytes to the backing storage."""
-        yield from self.variable.write(offset, data)
+        return self.variable.write(offset, data)
 
     def __repr__(self) -> str:
         return f"<NVMArray {self.shape} {self.dtype} over {self.variable!r}>"

@@ -41,6 +41,21 @@ class StorageDevice:
         self.name = name or spec.name
         self.metrics = metrics if metrics is not None else MetricsRecorder()
         self._channel = Resource(engine, capacity=spec.channels, name=self.name)
+        # Accesses are the hottest metric call sites: resolve the counter
+        # objects and the per-kind timing function once instead of
+        # formatting two names and dispatching on kind per access.
+        self._counters = {
+            kind: (
+                self.metrics.counter(f"device.{self.name}.{kind.value}.bytes"),
+                self.metrics.counter(f"device.{self.name}.{kind.value}.time"),
+                spec.read_time if kind is AccessKind.READ else spec.write_time,
+            )
+            for kind in AccessKind
+        }
+        # Only call the _pre_access hook when a subclass actually has one.
+        self._custom_pre_access = (
+            type(self)._pre_access is not StorageDevice._pre_access
+        )
 
     # ------------------------------------------------------------------
     def service_time(self, kind: AccessKind, nbytes: int) -> float:
@@ -61,21 +76,25 @@ class StorageDevice:
         req = self._channel.request()
         yield req
         try:
-            self._pre_access(kind, nbytes)
-            duration = self.service_time(kind, nbytes)
-            self.metrics.add(f"device.{self.name}.{kind.value}.bytes", nbytes)
-            self.metrics.add(f"device.{self.name}.{kind.value}.time", duration)
+            if self._custom_pre_access:
+                self._pre_access(kind, nbytes)
+            bytes_counter, time_counter, time_fn = self._counters[kind]
+            duration = time_fn(nbytes)
+            bytes_counter.total += nbytes
+            bytes_counter.count += 1
+            time_counter.total += duration
+            time_counter.count += 1
             yield self.engine.timeout(duration)
         finally:
             self._channel.release(req)
 
     def read(self, nbytes: int) -> Generator[Event, object, None]:
         """Process generator: one read access."""
-        yield from self.access(AccessKind.READ, nbytes)
+        return self.access(AccessKind.READ, nbytes)
 
     def write(self, nbytes: int) -> Generator[Event, object, None]:
         """Process generator: one write access."""
-        yield from self.access(AccessKind.WRITE, nbytes)
+        return self.access(AccessKind.WRITE, nbytes)
 
     # ------------------------------------------------------------------
     def bytes_read(self) -> float:

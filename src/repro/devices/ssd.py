@@ -50,6 +50,9 @@ class SSD(StorageDevice):
                 endurance_cycles=spec.endurance_cycles,
                 wear_leveling=wear_leveling,
             )
+        # GC-time counter, resolved on first GC event (snapshot-identical
+        # to on-demand ``metrics.add``: never materializes without GC).
+        self._gc_counter = None
 
     # ------------------------------------------------------------------
     @property
@@ -78,7 +81,7 @@ class SSD(StorageDevice):
         """Process generator: read ``nbytes`` at logical ``offset``."""
         if self.ftl is not None:
             self._page_range(offset, nbytes)  # bounds check
-        yield from self.access(AccessKind.READ, nbytes)
+        return self.access(AccessKind.READ, nbytes)
 
     def write_extent(self, offset: int, nbytes: int) -> Generator[Event, object, None]:
         """Process generator: write ``nbytes`` at logical ``offset``.
@@ -97,13 +100,23 @@ class SSD(StorageDevice):
                 + erases * self.spec.erase_latency
             )
             if gc_penalty:
-                self.metrics.add(f"device.{self.name}.gc.time", gc_penalty)
+                counter = self._gc_counter
+                if counter is None:
+                    counter = self._gc_counter = self.metrics.counter(
+                        f"device.{self.name}.gc.time"
+                    )
+                counter.total += gc_penalty
+                counter.count += 1
         req = self._channel.request()
         yield req
         try:
             duration = self.service_time(AccessKind.WRITE, nbytes) + gc_penalty
-            self.metrics.add(f"device.{self.name}.write.bytes", nbytes)
-            self.metrics.add(f"device.{self.name}.write.time", duration)
+            # Same Counter objects the size-only write path uses.
+            bytes_counter, time_counter, _ = self._counters[AccessKind.WRITE]
+            bytes_counter.total += nbytes
+            bytes_counter.count += 1
+            time_counter.total += duration
+            time_counter.count += 1
             yield self.engine.timeout(duration)
         finally:
             self._channel.release(req)

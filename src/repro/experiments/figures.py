@@ -137,6 +137,7 @@ def fig3(scale: ExperimentScale = SMALL) -> ExperimentReport:
             label, st["input_a"], st["input_b"], st["bcast_b"],
             st["compute"], st["collect_c"], result.total,
         )
+        report.add_cache_stats(label, result.chunk_cache, result.page_cache)
     dram = totals["DRAM(2:16:0)"]
     report.claim(
         "L-SSD(8:16:16) improves on DRAM(2:16:0) by 53.75%",

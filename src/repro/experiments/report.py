@@ -17,6 +17,7 @@ class ExperimentReport:
     rows: list[list[object]] = field(default_factory=list)
     paper_claims: list[str] = field(default_factory=list)
     measured_claims: list[str] = field(default_factory=list)
+    cache_lines: list[str] = field(default_factory=list)
     verified: bool = True
 
     def add_row(self, *cells: object) -> None:
@@ -28,6 +29,32 @@ class ExperimentReport:
         self.paper_claims.append(paper)
         self.measured_claims.append(measured)
 
+    def add_cache_stats(self, label: str, chunk=None, page=None) -> None:
+        """Record one run's cache behaviour (hit rates, byte flows).
+
+        ``chunk`` is a :class:`repro.fusefs.cache.CacheStats`, ``page`` a
+        :class:`repro.mem.pagecache.PageCacheStats`; either may be None.
+        """
+        if chunk is not None and (chunk.hits or chunk.misses):
+            line = (
+                f"{label}: chunk cache {100 * chunk.hit_rate:.1f}% hits "
+                f"({chunk.hits}/{chunk.hits + chunk.misses}), "
+                f"fetched {chunk.fetched_bytes / 2**20:.1f} MiB"
+            )
+            if chunk.prefetched_bytes:
+                line += (
+                    f" ({chunk.prefetched_bytes / 2**20:.1f} MiB read-ahead)"
+                )
+            line += f", wrote back {chunk.writeback_bytes / 2**20:.1f} MiB"
+            self.cache_lines.append(line)
+        if page is not None and (page.hits or page.misses):
+            self.cache_lines.append(
+                f"{label}: page cache {100 * page.hit_rate:.1f}% hits "
+                f"({page.hits}/{page.hits + page.misses}), faulted "
+                f"{page.faulted_bytes / 2**20:.1f} MiB, wrote back "
+                f"{page.writeback_bytes / 2**20:.1f} MiB"
+            )
+
     def render(self) -> str:
         """The report as an aligned monospace table plus claim lines."""
         lines = [
@@ -36,6 +63,11 @@ class ExperimentReport:
                 title=f"{self.experiment}: {self.title} [{'OK' if self.verified else 'UNVERIFIED'}]",
             )
         ]
+        if self.cache_lines:
+            lines.append("")
+            lines.append("cache behaviour:")
+            for cache_line in self.cache_lines:
+                lines.append(f"  {cache_line}")
         if self.paper_claims:
             lines.append("")
             lines.append("paper vs measured:")

@@ -255,6 +255,11 @@ def table7(scale: ExperimentScale = SMALL) -> ExperimentReport:
             result.written_to_ssd / MiB,
             result.amplification_to_ssd,
         )
+        report.add_cache_stats(
+            "w/ Optimization" if optimized else "w/o Optimization",
+            result.chunk_cache,
+            result.page_cache,
+        )
     ratio = measured[False].written_to_ssd / max(measured[True].written_to_ssd, 1)
     report.claim(
         "writing only dirty 4 KB pages instead of whole 256 KB chunks cuts "

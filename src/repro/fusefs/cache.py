@@ -7,12 +7,20 @@ NVMalloc STREAM *faster* than raw local-SSD access, Table III).  Writes
 dirty 4 KB pages; on eviction only the dirty pages travel to the
 benefactor, which is the write optimization Table VII quantifies (504 MB
 vs 19.3 GB for a random-write workload).
+
+Bookkeeping runs on two auxiliary structures kept in lockstep with the
+LRU dict: a per-path index (``_by_path``/``_inflight_by_path``) so
+per-file flush/drain/invalidate walk only that file's chunks instead of
+the whole cache, and a monotone ``lru`` stamp per entry so a per-path
+flush can replay exact LRU order without consulting the global dict.
+Neither structure changes what is simulated — only how fast Python finds
+the entries.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Generator
+from collections.abc import Generator, Iterable
 from dataclasses import dataclass
 
 from repro.devices.base import AccessKind
@@ -32,6 +40,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     fetched_bytes: int = 0  # store -> cache
+    prefetched_bytes: int = 0  # subset of fetched_bytes pulled by read-ahead
     writeback_bytes: int = 0  # cache -> store
     evictions: int = 0
     dirty_evictions: int = 0
@@ -46,10 +55,15 @@ class CacheStats:
 class _Entry:
     """One cached chunk."""
 
-    __slots__ = ("data", "dirty", "valid", "pins", "filling", "writeback")
+    __slots__ = ("data", "dirty", "valid", "pins", "filling", "writeback", "lru")
 
     def __init__(self, chunk_size: int) -> None:
-        self.data = bytearray(chunk_size)
+        # Allocated lazily: a fetch replaces it wholesale with the
+        # fetched bytes, and a write-before-fetch allocates it zeroed
+        # (write-allocate semantics: unwritten bytes read as zeroes).
+        # Skipping the eager zero-fill avoids one chunk-size memset per
+        # entry on the fetch-dominated path.
+        self.data: bytearray | None = None
         self.dirty = IntervalSet()
         # False until the backing chunk has been fetched; a fully
         # overwritten chunk never needs fetching (write-allocate without
@@ -69,6 +83,10 @@ class _Entry:
         # resurrect stale bytes after the write-back stole the dirty
         # markers that protect fresh data.
         self.writeback: Event | None = None
+        # Recency stamp, mirroring this entry's position in the LRU dict:
+        # strictly increasing across touches, so sorting a path's entries
+        # by stamp reproduces LRU (insertion) order exactly.
+        self.lru = 0
 
 
 class ChunkCache:
@@ -101,6 +119,10 @@ class ChunkCache:
         self.readahead_chunks = readahead_chunks
         self.metrics = metrics if metrics is not None else client.metrics
         self.stats = CacheStats()
+        # Direct references for the per-access hot paths (three attribute
+        # hops each otherwise).
+        self._engine = client.node.engine
+        self._dram = client.node.dram
         # The FUSE daemon: store requests from this node are serviced by a
         # fixed number of daemon threads (1 by default, as in the paper's
         # prototype), so concurrent ranks' chunk fetches/write-backs
@@ -110,10 +132,26 @@ class ChunkCache:
             name=f"{client.client_name}.fused",
         )
         self._entries: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
+        # Per-path view of ``_entries`` keys, so path-scoped operations
+        # (fsync, unlink) touch only that file's chunks.
+        self._by_path: dict[str, set[int]] = {}
         # Chunks whose eviction write-back is in flight: concurrent
         # accesses must wait for the store to hold current bytes before
         # refetching, or they would read the pre-writeback (stale) data.
         self._inflight: dict[tuple[str, int], Event] = {}
+        # Per-path view of ``_inflight``; inner dicts preserve insertion
+        # order so drain_path waits on the same (oldest) write-back a
+        # whole-dict scan would have picked.
+        self._inflight_by_path: dict[str, dict[int, Event]] = {}
+        self._tick = 0
+        # Hot-path counters, resolved on first use (snapshot-identical
+        # to per-call ``metrics.add``: untouched ones never materialize).
+        self._hits_counter = None
+        self._misses_counter = None
+        self._read_counter = None
+        self._write_counter = None
+        self._fetch_counter = None
+        self._writeback_counter = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -140,6 +178,8 @@ class ChunkCache:
     def _touch(self, key: tuple[str, int]) -> _Entry:
         entry = self._entries[key]
         self._entries.move_to_end(key)
+        self._tick += 1
+        entry.lru = self._tick
         return entry
 
     def _page_align(self, dirty: IntervalSet) -> list[tuple[int, int]]:
@@ -166,13 +206,63 @@ class ChunkCache:
             if victim_key is None:
                 return
             entry = self._entries.pop(victim_key)
+            vpath, vindex = victim_key
+            bucket = self._by_path[vpath]
+            bucket.discard(vindex)
+            if not bucket:
+                del self._by_path[vpath]
             was_dirty = bool(entry.dirty)
-            done = Event(self.client.node.engine)
+            done = Event(self._engine)
             self._inflight[victim_key] = done
+            ibucket = self._inflight_by_path.get(vpath)
+            if ibucket is None:
+                ibucket = self._inflight_by_path[vpath] = {}
+            ibucket[vindex] = done
             try:
-                yield from self._writeback(victim_key, entry)
+                # Inlined _writeback (which flush_path/flush_all still
+                # use): every event of every eviction write-back resumes
+                # through this frame, so skipping the extra ``yield
+                # from`` hop is paid back on each of them.
+                while entry.filling is not None:
+                    yield entry.filling
+                if entry.dirty:
+                    entry.writeback = Event(self._engine)
+                    if self.dirty_page_writeback:
+                        view = memoryview(entry.data)
+                        ranges = [
+                            (start, bytes(view[start:stop]))
+                            for start, stop in self._page_align(entry.dirty)
+                        ]
+                    else:
+                        ranges = [(0, bytes(entry.data))]
+                    entry.dirty.clear()
+                    nbytes = sum(len(payload) for _, payload in ranges)
+                    try:
+                        req = self.daemon.request()
+                        yield req
+                        try:
+                            yield from self.client.write_chunk_ranges(
+                                vpath, vindex, ranges
+                            )
+                        finally:
+                            self.daemon.release(req)
+                    finally:
+                        event, entry.writeback = entry.writeback, None
+                        if event is not None:
+                            event.succeed(None)
+                    self.stats.writeback_bytes += nbytes
+                    counter = self._writeback_counter
+                    if counter is None:
+                        counter = self._writeback_counter = self.metrics.counter(
+                            "fuse.writeback.bytes"
+                        )
+                    counter.total += nbytes
+                    counter.count += 1
             finally:
                 del self._inflight[victim_key]
+                del ibucket[vindex]
+                if not ibucket:
+                    del self._inflight_by_path[vpath]
                 done.succeed(None)
             self.stats.evictions += 1
             if was_dirty:
@@ -189,10 +279,11 @@ class ChunkCache:
         if not entry.dirty:
             return
         path, index = key
-        entry.writeback = Event(self.client.node.engine)
+        entry.writeback = Event(self._engine)
         if self.dirty_page_writeback:
+            view = memoryview(entry.data)
             ranges = [
-                (start, bytes(entry.data[start:stop]))
+                (start, bytes(view[start:stop]))
                 for start, stop in self._page_align(entry.dirty)
             ]
         else:
@@ -215,10 +306,22 @@ class ChunkCache:
             if event is not None:
                 event.succeed(None)
         self.stats.writeback_bytes += nbytes
-        self.metrics.add("fuse.writeback.bytes", nbytes)
+        counter = self._writeback_counter
+        if counter is None:
+            counter = self._writeback_counter = self.metrics.counter(
+                "fuse.writeback.bytes"
+            )
+        counter.total += nbytes
+        counter.count += 1
 
     def _load(
-        self, path: str, index: int, *, fetch: bool, count_stats: bool = True
+        self,
+        path: str,
+        index: int,
+        *,
+        fetch: bool,
+        count_stats: bool = True,
+        prefetch: bool = False,
     ) -> Generator[Event, object, _Entry]:
         """Pin the chunk into the cache and return its (current) entry.
 
@@ -229,14 +332,18 @@ class ChunkCache:
         """
         key = (path, index)
         first_attempt = count_stats
+        entries = self._entries
+        inflight = self._inflight
         while True:
             # If this chunk is mid-eviction, wait for its write-back to
             # land (refetching now would read stale bytes from the store).
-            while key in self._inflight:
-                yield self._inflight[key]
-            entry = self._entries.get(key)
+            while key in inflight:
+                yield inflight[key]
+            entry = entries.get(key)
             if entry is not None:
-                self._entries.move_to_end(key)
+                entries.move_to_end(key)
+                self._tick += 1
+                entry.lru = self._tick
                 entry.pins += 1  # survives the fill below and is returned
                 if fetch and not entry.valid:
                     if entry.filling is not None:
@@ -246,29 +353,49 @@ class ChunkCache:
                         entry.pins -= 1
                         yield event
                         continue
-                    yield from self._fill(path, index, entry)
+                    yield from self._fill(path, index, entry, prefetch=prefetch)
                 if first_attempt:
                     self.stats.hits += 1
-                    self.metrics.add("fuse.cache.hits")
+                    counter = self._hits_counter
+                    if counter is None:
+                        counter = self._hits_counter = self.metrics.counter(
+                            "fuse.cache.hits"
+                        )
+                    counter.total += 1.0
+                    counter.count += 1
                 return entry
             if first_attempt:
                 self.stats.misses += 1
-                self.metrics.add("fuse.cache.misses")
+                counter = self._misses_counter
+                if counter is None:
+                    counter = self._misses_counter = self.metrics.counter(
+                        "fuse.cache.misses"
+                    )
+                counter.total += 1.0
+                counter.count += 1
                 first_attempt = False
             yield from self._make_room()
             # _make_room yielded: the chunk may have (re)appeared or gone
             # back into eviction; restart the residency checks if so.
-            if key in self._entries or key in self._inflight:
+            if key in entries or key in inflight:
                 continue
             entry = _Entry(self.chunk_size)
             entry.pins = 1
-            self._entries[key] = entry
+            self._tick += 1
+            entry.lru = self._tick
+            entries[key] = entry
+            bucket = self._by_path.get(path)
+            if bucket is None:
+                bucket = self._by_path[path] = set()
+            bucket.add(index)
             if fetch:
-                yield from self._fill(path, index, entry)
+                yield from self._fill(path, index, entry, prefetch=prefetch)
             return entry
 
-    def _fill(self, path: str, index: int, entry: _Entry) -> Generator[Event, object, None]:
-        entry.filling = Event(self.client.node.engine)
+    def _fill(
+        self, path: str, index: int, entry: _Entry, *, prefetch: bool = False
+    ) -> Generator[Event, object, None]:
+        entry.filling = Event(self._engine)
         try:
             # Mutual exclusion with write-backs (registered before this
             # wait so concurrent readers single-flight on us meanwhile).
@@ -284,19 +411,53 @@ class ChunkCache:
             event, entry.filling = entry.filling, None
             event.succeed(None)
         # Preserve bytes written before the fill (write-allocate case).
-        if entry.dirty:
+        nbytes = len(data)
+        if type(data) is bytearray and nbytes == self.chunk_size:
+            # The store handed us a fresh full-size buffer: adopt it as
+            # the entry payload instead of copying it once more.
+            if entry.dirty:
+                old = memoryview(entry.data)
+                for start, stop in entry.dirty:
+                    data[start:stop] = old[start:stop]
+            entry.data = data
+        elif entry.dirty:
             merged = bytearray(self.chunk_size)
-            merged[: len(data)] = data
+            merged[:nbytes] = data
+            old = memoryview(entry.data)
             for start, stop in entry.dirty:
-                merged[start:stop] = entry.data[start:stop]
-            entry.data[:] = merged
+                merged[start:stop] = old[start:stop]
+            entry.data = merged
         else:
-            entry.data[: len(data)] = data
-            if len(data) < self.chunk_size:
-                entry.data[len(data):] = bytes(self.chunk_size - len(data))
+            buf = bytearray(self.chunk_size)
+            buf[:nbytes] = data
+            entry.data = buf
         entry.valid = True
-        self.stats.fetched_bytes += len(data)
-        self.metrics.add("fuse.fetch.bytes", len(data))
+        self.stats.fetched_bytes += nbytes
+        if prefetch:
+            self.stats.prefetched_bytes += nbytes
+        counter = self._fetch_counter
+        if counter is None:
+            counter = self._fetch_counter = self.metrics.counter(
+                "fuse.fetch.bytes"
+            )
+        counter.total += nbytes
+        counter.count += 1
+
+    def _hit(self, key: tuple[str, int], entry: _Entry) -> None:
+        """Bookkeeping for a resident entry taken on the no-yield fast
+        path: identical to what :meth:`_load` does for a clean hit."""
+        self._entries.move_to_end(key)
+        self._tick += 1
+        entry.lru = self._tick
+        entry.pins += 1
+        self.stats.hits += 1
+        counter = self._hits_counter
+        if counter is None:
+            counter = self._hits_counter = self.metrics.counter(
+                "fuse.cache.hits"
+            )
+        counter.total += 1.0
+        counter.count += 1
 
     # ------------------------------------------------------------------
     # Public read/write (byte ranges within one chunk)
@@ -306,35 +467,93 @@ class ChunkCache:
     ) -> Generator[Event, object, bytes]:
         """Read bytes from chunk ``index`` of ``path`` (fetch on miss)."""
         self._check(offset, length)
-        entry = yield from self._load(path, index, fetch=True)
+        key = (path, index)
+        entry = self._entries.get(key)
+        if entry is not None and entry.valid:
+            # Fast path: resident and filled.  _load would not have
+            # yielded either; skip the generator round trip.
+            self._hit(key, entry)
+        else:
+            entry = yield from self._load(path, index, fetch=True)
         try:
-            self.metrics.add("fuse.read.bytes", length)
-            readahead = self.readahead_chunks
-            if readahead:
-                # Asynchronous: prefetches run as their own simulation
-                # processes so the demand read never waits on them.
-                nchunks = -(-self.client.file_size(path) // self.chunk_size)
-                for ahead in range(1, readahead + 1):
-                    nxt = index + ahead
-                    if (
-                        nxt >= nchunks
-                        or (path, nxt) in self._entries
-                        or (path, nxt) in self._inflight
-                    ):
-                        break
-                    self.client.node.engine.process(self._prefetch(path, nxt))
+            counter = self._read_counter
+            if counter is None:
+                counter = self._read_counter = self.metrics.counter(
+                    "fuse.read.bytes"
+                )
+            counter.total += length
+            counter.count += 1
+            if self.readahead_chunks:
+                self._maybe_readahead(path, index)
             # Serving from the cache is still a DRAM copy, not free.
-            yield from self.client.node.dram.access(AccessKind.READ, length)
-            return bytes(entry.data[offset : offset + length])
+            yield from self._dram.access(AccessKind.READ, length)
+            return bytes(memoryview(entry.data)[offset : offset + length])
         finally:
             entry.pins -= 1
+
+    def read_into(
+        self,
+        path: str,
+        index: int,
+        offset: int,
+        length: int,
+        out: bytearray | memoryview,
+        out_offset: int = 0,
+    ) -> Generator[Event, object, int]:
+        """Read bytes from chunk ``index`` directly into ``out``.
+
+        Event-for-event identical to :meth:`read`, but the payload lands
+        in the caller's buffer at ``out_offset`` instead of materializing
+        an intermediate ``bytes`` — the page cache faults whole runs of
+        pages through this without one copy per page.
+        """
+        self._check(offset, length)
+        key = (path, index)
+        entry = self._entries.get(key)
+        if entry is not None and entry.valid:
+            self._hit(key, entry)
+        else:
+            entry = yield from self._load(path, index, fetch=True)
+        try:
+            counter = self._read_counter
+            if counter is None:
+                counter = self._read_counter = self.metrics.counter(
+                    "fuse.read.bytes"
+                )
+            counter.total += length
+            counter.count += 1
+            if self.readahead_chunks:
+                self._maybe_readahead(path, index)
+            yield from self._dram.access(AccessKind.READ, length)
+            # Copy after the DRAM wait, like read(): a write landing
+            # while we waited must be visible in the returned bytes.
+            out[out_offset : out_offset + length] = memoryview(entry.data)[
+                offset : offset + length
+            ]
+            return length
+        finally:
+            entry.pins -= 1
+
+    def _maybe_readahead(self, path: str, index: int) -> None:
+        # Asynchronous: prefetches run as their own simulation
+        # processes so the demand read never waits on them.
+        nchunks = -(-self.client.file_size(path) // self.chunk_size)
+        for ahead in range(1, self.readahead_chunks + 1):
+            nxt = index + ahead
+            if (
+                nxt >= nchunks
+                or (path, nxt) in self._entries
+                or (path, nxt) in self._inflight
+            ):
+                break
+            self._engine.process(self._prefetch(path, nxt))
 
     def _prefetch(self, path: str, index: int) -> Generator[Event, object, None]:
         """Background read-ahead of one chunk (failures are harmless —
         the file may be unlinked while the prefetch is in flight)."""
         try:
             entry = yield from self._load(
-                path, index, fetch=True, count_stats=False
+                path, index, fetch=True, count_stats=False, prefetch=True
             )
             entry.pins -= 1
             self.metrics.add("fuse.cache.prefetches")
@@ -351,19 +570,89 @@ class ChunkCache:
         ("the corresponding chunk ... is read from the benefactor to the
         FUSE client's cache in case of a miss").
         """
-        self._check(offset, len(data))
+        length = len(data)
+        self._check(offset, length)
         covers_whole_pages = (
             offset % self.page_size == 0
-            and (offset + len(data)) % self.page_size == 0
+            and (offset + length) % self.page_size == 0
         )
-        entry = yield from self._load(path, index, fetch=not covers_whole_pages)
+        key = (path, index)
+        entry = self._entries.get(key)
+        if entry is not None and (covers_whole_pages or entry.valid):
+            self._hit(key, entry)
+        else:
+            entry = yield from self._load(path, index, fetch=not covers_whole_pages)
         try:
-            entry.data[offset : offset + len(data)] = data
-            entry.dirty.add(offset, offset + len(data))
-            self.metrics.add("fuse.write.bytes", len(data))
-            yield from self.client.node.dram.access(AccessKind.WRITE, len(data))
+            buf = entry.data
+            if buf is None:
+                buf = entry.data = bytearray(self.chunk_size)
+            buf[offset : offset + length] = data
+            entry.dirty.add(offset, offset + length)
+            counter = self._write_counter
+            if counter is None:
+                counter = self._write_counter = self.metrics.counter(
+                    "fuse.write.bytes"
+                )
+            counter.total += length
+            counter.count += 1
+            yield from self._dram.access(AccessKind.WRITE, length)
         finally:
             entry.pins -= 1
+
+    def write_ranges(
+        self,
+        path: str,
+        index: int,
+        ranges: Iterable[tuple[int, bytes]],
+        *,
+        pre_range_delay: float | None = None,
+    ) -> Generator[Event, object, None]:
+        """Write several byte ranges into chunk ``index`` in one call.
+
+        Event-for-event equivalent to one :meth:`write` per range; when
+        ``pre_range_delay`` is given, that timeout is charged before each
+        range, so a batched flush replays its caller's per-page
+        [overhead][write] sequence exactly.  The entry is re-looked-up
+        per range (and unpinned between ranges), so eviction pressure
+        from concurrent ranks interleaves just as it would with separate
+        write() calls.
+        """
+        engine = self._engine
+        dram = self._dram
+        entries = self._entries
+        page_size = self.page_size
+        key = (path, index)
+        for offset, data in ranges:
+            length = len(data)
+            self._check(offset, length)
+            if pre_range_delay is not None:
+                yield engine.timeout(pre_range_delay)
+            covers_whole_pages = (
+                offset % page_size == 0 and (offset + length) % page_size == 0
+            )
+            entry = entries.get(key)
+            if entry is not None and (covers_whole_pages or entry.valid):
+                self._hit(key, entry)
+            else:
+                entry = yield from self._load(
+                    path, index, fetch=not covers_whole_pages
+                )
+            try:
+                buf = entry.data
+                if buf is None:
+                    buf = entry.data = bytearray(self.chunk_size)
+                buf[offset : offset + length] = data
+                entry.dirty.add(offset, offset + length)
+                counter = self._write_counter
+                if counter is None:
+                    counter = self._write_counter = self.metrics.counter(
+                        "fuse.write.bytes"
+                    )
+                counter.total += length
+                counter.count += 1
+                yield from dram.access(AccessKind.WRITE, length)
+            finally:
+                entry.pins -= 1
 
     def _check(self, offset: int, length: int) -> None:
         if offset < 0 or length < 0 or offset + length > self.chunk_size:
@@ -378,30 +667,45 @@ class ChunkCache:
     def drain_path(self, path: str) -> Generator[Event, object, None]:
         """Wait until no eviction write-back for ``path`` is in flight."""
         while True:
-            pending = [
-                event for key, event in self._inflight.items() if key[0] == path
-            ]
-            if not pending:
+            bucket = self._inflight_by_path.get(path)
+            if not bucket:
                 return
-            yield pending[0]
+            yield next(iter(bucket.values()))
 
     def flush_path(self, path: str) -> Generator[Event, object, None]:
         """Write back all dirty chunks of ``path`` (fsync)."""
         yield from self.drain_path(path)
-        for key in [k for k in self._entries if k[0] == path]:
-            entry = self._entries.get(key)
-            if entry is not None:  # may be evicted while we flush others
-                yield from self._writeback(key, entry)
+        bucket = self._by_path.get(path)
+        if bucket:
+            entries = self._entries
+            # Snapshot in LRU order (stamp order == dict order).
+            for index in sorted(bucket, key=lambda i: entries[(path, i)].lru):
+                entry = entries.get((path, index))
+                if entry is not None:  # may be evicted while we flush others
+                    yield from self._writeback((path, index), entry)
         yield from self.drain_path(path)
 
     def flush_all(self) -> Generator[Event, object, None]:
-        """Write back every dirty chunk."""
+        """Write back every dirty chunk (global fsync / teardown barrier).
+
+        Like :meth:`flush_path`, waits out in-flight eviction write-backs
+        on both sides of the sweep — returning while an eviction is still
+        shipping dirty pages would mean "flushed" data not yet durable.
+        """
+        inflight = self._inflight
+        while inflight:
+            yield next(iter(inflight.values()))
         for key in list(self._entries):
             entry = self._entries.get(key)
             if entry is not None:
                 yield from self._writeback(key, entry)
+        while inflight:
+            yield next(iter(inflight.values()))
 
     def invalidate_path(self, path: str) -> None:
         """Drop cached chunks of ``path`` without writing back (unlink)."""
-        for key in [k for k in self._entries if k[0] == path]:
-            del self._entries[key]
+        bucket = self._by_path.pop(path, None)
+        if bucket:
+            entries = self._entries
+            for index in bucket:
+                del entries[(path, index)]

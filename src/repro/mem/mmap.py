@@ -60,6 +60,10 @@ class MmapRegion:
         # MAP_PRIVATE copy-on-write overlay: page index -> private bytes.
         self._private: dict[int, bytearray] = {}
         self._page = pagecache.page_size
+        # Hot-path counters, resolved on first use (snapshot-identical
+        # to per-call ``metrics.add``: untouched ones never materialize).
+        self._read_counter = None
+        self._write_counter = None
 
     # ------------------------------------------------------------------
     def _check(self, offset: int, length: int, *, write: bool) -> None:
@@ -76,39 +80,99 @@ class MmapRegion:
             )
 
     # ------------------------------------------------------------------
-    def read(self, offset: int, length: int) -> Generator[Event, object, bytes]:
-        """Read ``length`` bytes at region ``offset``."""
+    def read(self, offset: int, length: int) -> Generator[Event, object, bytearray]:
+        """Read ``length`` bytes at region ``offset``.
+
+        Plain function returning a process generator: argument checks and
+        accounting happen eagerly, then the delegate generator is handed
+        straight to the caller's ``yield from`` (no wrapper frame on the
+        per-event resume path).  The result is a fresh caller-owned
+        buffer (see :meth:`PageCache.read`).
+        """
         self._check(offset, length, write=False)
-        self.metrics.add("mmap.app_read.bytes", length)
+        counter = self._read_counter
+        if counter is None:
+            counter = self._read_counter = self.metrics.counter(
+                "mmap.app_read.bytes"
+            )
+        counter.total += length
+        counter.count += 1
         file_off = self.offset + offset
         if not self._private:
-            return (yield from self.pagecache.read(self.path, file_off, length))
-        # Private overlay: splice privately written pages over file bytes.
-        data = bytearray(
-            (yield from self.pagecache.read(self.path, file_off, length))
-        )
-        first = file_off // self._page
-        last = (file_off + length - 1) // self._page if length else first - 1
+            return self.pagecache.read(self.path, file_off, length)
+        return self._read_overlaid(file_off, length)
+
+    def _read_overlaid(
+        self, file_off: int, length: int
+    ) -> Generator[Event, object, bytearray]:
+        if length == 0:
+            return bytearray()
+        # Private overlay: serve fully-overlaid pages straight from the
+        # copy-on-write copies (overlays always hold whole pages) and
+        # read only the uncovered runs through the page cache — faulting
+        # backing pages that COW already shadows would charge store
+        # traffic for bytes the application can never observe.
+        page = self._page
+        end = file_off + length
+        first = file_off // page
+        last = (end - 1) // page
+        out = bytearray(length)
+        private = self._private
+        overlay_bytes = 0
+        run_start: int | None = None
         for page_idx in range(first, last + 1):
-            overlay = self._private.get(page_idx)
-            if overlay is None:
-                continue
-            page_start = page_idx * self._page
+            page_start = page_idx * page
             lo = max(page_start, file_off)
-            hi = min(page_start + self._page, file_off + length)
-            data[lo - file_off : hi - file_off] = overlay[
+            hi = min(page_start + page, end)
+            overlay = private.get(page_idx)
+            if overlay is None:
+                if run_start is None:
+                    run_start = lo
+                continue
+            if run_start is not None:
+                data = yield from self.pagecache.read(
+                    self.path, run_start, lo - run_start
+                )
+                out[run_start - file_off : lo - file_off] = data
+                run_start = None
+            out[lo - file_off : hi - file_off] = memoryview(overlay)[
                 lo - page_start : hi - page_start
             ]
-        return bytes(data)
+            overlay_bytes += hi - lo
+        if run_start is not None:
+            data = yield from self.pagecache.read(
+                self.path, run_start, end - run_start
+            )
+            out[run_start - file_off :] = data
+        if overlay_bytes:
+            # Overlaid bytes never touch the backing file, but serving
+            # them is still a DRAM copy.
+            yield from self.pagecache.node.dram.access(
+                AccessKind.READ, overlay_bytes
+            )
+        return out
 
     def write(self, offset: int, data: bytes) -> Generator[Event, object, None]:
-        """Write ``data`` at region ``offset``."""
+        """Write ``data`` at region ``offset``.
+
+        Plain function returning a process generator (see :meth:`read`).
+        """
         self._check(offset, len(data), write=True)
-        self.metrics.add("mmap.app_write.bytes", len(data))
+        counter = self._write_counter
+        if counter is None:
+            counter = self._write_counter = self.metrics.counter(
+                "mmap.app_write.bytes"
+            )
+        counter.total += len(data)
+        counter.count += 1
         file_off = self.offset + offset
         if self.shared:
-            yield from self.pagecache.write(self.path, file_off, data)
-            return
+            return self.pagecache.write(self.path, file_off, data)
+        return self._write_private(file_off, data)
+
+    def _write_private(
+        self, file_off: int, data: bytes
+    ) -> Generator[Event, object, None]:
         # MAP_PRIVATE: copy-on-write into the overlay; the file is never
         # modified.
         cursor = file_off

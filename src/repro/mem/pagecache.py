@@ -5,6 +5,15 @@ in from the FUSE layer (which fetches whole 256 KB chunks from the store —
 the granularity bridge of paper §III-D).  Dirty pages are written back to
 FUSE at page granularity, matching "the OS page cache sends out write
 requests to the FUSE layer on a page granularity".
+
+Like the chunk cache, the page dict is shadowed by a per-path index and
+per-page ``lru`` stamps so msync/munmap walk only the target file's pages
+while replaying exact LRU order.  Runs of pages move through the stack in
+batch: faults pull each chunk piece with one ``read_into`` call, and
+msync flushes runs of contiguous dirty pages with one ``write_ranges``
+call that charges the same per-page FUSE overhead the page-by-page path
+would have — the simulated event sequence is identical, only the Python
+work per page shrinks.
 """
 
 from __future__ import annotations
@@ -38,11 +47,17 @@ class PageCacheStats:
 
 
 class _Page:
-    __slots__ = ("data", "dirty")
+    __slots__ = ("data", "dirty", "lru")
 
-    def __init__(self, page_size: int) -> None:
-        self.data = bytearray(page_size)
+    def __init__(self, page_size: int, data: bytearray | None = None) -> None:
+        # Callers with a full page of payload in hand pass it directly,
+        # skipping the zero-fill that a copy would immediately overwrite.
+        self.data = bytearray(page_size) if data is None else data
         self.dirty = False
+        # Recency stamp mirroring this page's position in the LRU dict
+        # (strictly increasing across touches), so a per-path sync can
+        # replay LRU order without scanning the whole dict.
+        self.lru = 0
 
 
 class PageCache:
@@ -69,16 +84,33 @@ class PageCache:
             )
         self.mount = mount
         self.node = mount.node
+        # Direct references for the per-access hot paths (two attribute
+        # hops each otherwise).
+        self._engine = mount.node.engine
+        self._dram = mount.node.dram
         self.page_size = page_size
         self.fuse_op_overhead = fuse_op_overhead
         self.capacity_pages = capacity_bytes // page_size
         self.metrics = metrics if metrics is not None else mount.metrics
         self.stats = PageCacheStats()
         self._pages: OrderedDict[tuple[str, int], _Page] = OrderedDict()
+        # Per-path view of ``_pages`` keys for path-scoped sync/drop.
+        self._by_path: dict[str, set[int]] = {}
         # Pages whose eviction flush is in flight: concurrent faults must
         # wait for the flush to reach FUSE before refetching, or they
         # would read pre-flush (stale) bytes.
         self._inflight: dict[tuple[str, int], Event] = {}
+        # Per-path view of ``_inflight``; inner dicts keep insertion
+        # order so drain_path waits on the oldest flush first, exactly
+        # as a whole-dict scan would.
+        self._inflight_by_path: dict[str, dict[int, Event]] = {}
+        self._tick = 0
+        # Hot-path counters, resolved on first use (snapshot-identical
+        # to per-call ``metrics.add``: untouched ones never materialize).
+        self._read_counter = None
+        self._write_counter = None
+        self._fault_counter = None
+        self._writeback_counter = None
         # Page-cache pages occupy node DRAM.
         mount.node.dram.allocate(capacity_bytes)
 
@@ -89,21 +121,24 @@ class PageCache:
     def _dram_access(self, kind: AccessKind, nbytes: int) -> Generator[Event, object, None]:
         """Charge DRAM time for bytes served from resident pages."""
         if nbytes:
-            yield from self.node.dram.access(kind, nbytes)
+            yield from self._dram.access(kind, nbytes)
 
     def _fuse_cache(self):
         return self.mount.cache
 
-    def _evict_one(self) -> Generator[Event, object, None]:
-        key, page = self._pages.popitem(last=False)
-        if page.dirty:
-            done = Event(self.mount.node.engine)
-            self._inflight[key] = done
-            try:
-                yield from self._flush_page(key[0], key[1], page)
-            finally:
-                del self._inflight[key]
-                done.succeed(None)
+    def _new_page(
+        self, path: str, page_idx: int, data: bytearray | None = None
+    ) -> _Page:
+        """Create and index a resident page (caller checked capacity)."""
+        page = _Page(self.page_size, data)
+        self._tick += 1
+        page.lru = self._tick
+        self._pages[(path, page_idx)] = page
+        bucket = self._by_path.get(path)
+        if bucket is None:
+            bucket = self._by_path[path] = set()
+        bucket.add(page_idx)
+        return page
 
     def _flush_page(
         self, path: str, page_idx: int, page: _Page
@@ -114,40 +149,108 @@ class PageCache:
         chunk_off = offset - chunk_index * self.mount.chunk_size
         # Un-dirty before yielding: writes landing while the payload is
         # in flight re-dirty the page and flush later.
-        payload = bytes(page.data[:length])
+        data = page.data
+        payload = (
+            bytes(data) if length == len(data)
+            else bytes(memoryview(data)[:length])
+        )
         page.dirty = False
         if self.fuse_op_overhead:
-            yield self.node.engine.timeout(self.fuse_op_overhead)
+            yield self._engine.timeout(self.fuse_op_overhead)
         yield from self._fuse_cache().write(path, chunk_index, chunk_off, payload)
         self.stats.writeback_bytes += length
-        self.metrics.add("pagecache.writeback.bytes", length)
+        counter = self._writeback_counter
+        if counter is None:
+            counter = self._writeback_counter = self.metrics.counter(
+                "pagecache.writeback.bytes"
+            )
+        counter.total += length
+        counter.count += 1
 
     def _insert(
-        self, path: str, page_idx: int
+        self, path: str, page_idx: int, data: bytearray | None = None
     ) -> Generator[Event, object, tuple[_Page, bool]]:
         """Pin a page slot for ``(path, page_idx)``.
 
         Returns ``(page, created)``: ``created`` is False when the page
         was already (or concurrently became) resident — fillers must not
         overwrite such a page with older store bytes, because another
-        rank may have written to it since.
+        rank may have written to it since.  A created page adopts
+        ``data`` (a caller-owned full-page buffer) when given, skipping
+        the zero-fill a later full overwrite would waste.
         """
         key = (path, page_idx)
+        pages = self._pages
+        mount = self.mount
         while True:
             # Wait out an in-flight eviction flush of this very page.
             while key in self._inflight:
                 yield self._inflight[key]
-            if key in self._pages:
+            page = pages.get(key)
+            if page is not None:
                 # Someone else faulted it back in while we waited.
-                self._pages.move_to_end(key)
-                return self._pages[key], False
-            while len(self._pages) >= self.capacity_pages:
-                yield from self._evict_one()
-            if key in self._pages or key in self._inflight:
+                pages.move_to_end(key)
+                self._tick += 1
+                page.lru = self._tick
+                return page, False
+            while len(pages) >= self.capacity_pages:
+                # Evict the LRU page, flushing dirty victims through
+                # FUSE first.  The eviction and the flush body (kept in
+                # sync with _flush_page, which sync_path still uses) are
+                # inlined rather than delegated to helper generators:
+                # every event of every flush resumes through this frame,
+                # so each avoided ``yield from`` hop is paid back
+                # hundreds of thousands of times per run.
+                vkey, victim = pages.popitem(last=False)
+                vpath, vidx = vkey
+                bucket = self._by_path[vpath]
+                bucket.discard(vidx)
+                if not bucket:
+                    del self._by_path[vpath]
+                if victim.dirty:
+                    done = Event(self._engine)
+                    self._inflight[vkey] = done
+                    ibucket = self._inflight_by_path.get(vpath)
+                    if ibucket is None:
+                        ibucket = self._inflight_by_path[vpath] = {}
+                    ibucket[vidx] = done
+                    try:
+                        offset = vidx * self.page_size
+                        length = min(
+                            self.page_size, mount.stat_size(vpath) - offset
+                        )
+                        chunk_index = offset // mount.chunk_size
+                        chunk_off = offset - chunk_index * mount.chunk_size
+                        # Un-dirty before yielding: writes landing while
+                        # the payload is in flight re-dirty the page.
+                        vdata = victim.data
+                        payload = (
+                            bytes(vdata) if length == len(vdata)
+                            else bytes(memoryview(vdata)[:length])
+                        )
+                        victim.dirty = False
+                        if self.fuse_op_overhead:
+                            yield self._engine.timeout(self.fuse_op_overhead)
+                        yield from mount.cache.write(
+                            vpath, chunk_index, chunk_off, payload
+                        )
+                        self.stats.writeback_bytes += length
+                        counter = self._writeback_counter
+                        if counter is None:
+                            counter = self._writeback_counter = (
+                                self.metrics.counter("pagecache.writeback.bytes")
+                            )
+                        counter.total += length
+                        counter.count += 1
+                    finally:
+                        del self._inflight[vkey]
+                        del ibucket[vidx]
+                        if not ibucket:
+                            del self._inflight_by_path[vpath]
+                        done.succeed(None)
+            if key in pages or key in self._inflight:
                 continue  # appeared (or re-entered eviction) while evicting
-            page = _Page(self.page_size)
-            self._pages[key] = page
-            return page, True
+            return self._new_page(path, page_idx, data), True
 
     def _fault_range(
         self, path: str, first_page: int, last_page: int
@@ -160,10 +263,12 @@ class PageCache:
         # Pages of this range may have in-flight eviction flushes; their
         # bytes are not in FUSE yet, so fetching now would resurrect
         # stale data.  Wait for those flushes to land first.
-        for page_idx in range(first_page, last_page + 1):
-            key = (path, page_idx)
-            while key in self._inflight:
-                yield self._inflight[key]
+        inflight = self._inflight
+        if inflight:
+            for page_idx in range(first_page, last_page + 1):
+                key = (path, page_idx)
+                while key in inflight:
+                    yield inflight[key]
         offset = first_page * self.page_size
         size = self.mount.stat_size(path)
         length = min((last_page + 1) * self.page_size, size) - offset
@@ -172,75 +277,134 @@ class PageCache:
         # daemon: charge the kernel-crossing overhead per page.
         npages = last_page - first_page + 1
         if self.fuse_op_overhead:
-            yield self.node.engine.timeout(npages * self.fuse_op_overhead)
+            yield self._engine.timeout(npages * self.fuse_op_overhead)
+        pages = self._pages
+        page_size = self.page_size
+        capacity = self.capacity_pages
+        chunk_size = self.mount.chunk_size
         cursor = offset
         end = offset + length
         while cursor < end:
-            chunk_index = cursor // self.mount.chunk_size
-            chunk_off = cursor - chunk_index * self.mount.chunk_size
-            piece = min(self.mount.chunk_size - chunk_off, end - cursor)
-            data = yield from cache.read(path, chunk_index, chunk_off, piece)
-            for inner in range(0, piece, self.page_size):
-                page_idx = (cursor + inner) // self.page_size
-                page, created = yield from self._insert(path, page_idx)
-                if created:
-                    segment = data[inner : inner + self.page_size]
-                    page.data[: len(segment)] = segment
+            chunk_index = cursor // chunk_size
+            chunk_off = cursor - chunk_index * chunk_size
+            piece = min(chunk_size - chunk_off, end - cursor)
+            buf = bytearray(piece)
+            yield from cache.read_into(path, chunk_index, chunk_off, piece, buf)
+            view = memoryview(buf)
+            for inner in range(0, piece, page_size):
+                page_idx = (cursor + inner) // page_size
+                key = (path, page_idx)
+                page = pages.get(key)
+                if page is not None:
+                    # Concurrently faulted back in: only touch the LRU
+                    # position, never overwrite (it may hold newer bytes).
+                    pages.move_to_end(key)
+                    self._tick += 1
+                    page.lru = self._tick
+                    continue
+                segment = view[inner : inner + page_size]
+                if key not in inflight and len(pages) < capacity:
+                    # Fast path: no eviction and no flush to wait on —
+                    # _insert would have returned without yielding.
+                    if len(segment) == page_size:
+                        self._new_page(path, page_idx, bytearray(segment))
+                        continue
+                    page = self._new_page(path, page_idx)
+                else:
+                    page, created = yield from self._insert(path, page_idx)
+                    if not created:
+                        continue
+                page.data[: len(segment)] = segment
             cursor += piece
         self.stats.faulted_bytes += length
-        self.metrics.add("pagecache.fault.bytes", length)
+        counter = self._fault_counter
+        if counter is None:
+            counter = self._fault_counter = self.metrics.counter(
+                "pagecache.fault.bytes"
+            )
+        counter.total += length
+        counter.count += 1
 
     # ------------------------------------------------------------------
     # Public byte-range access
     # ------------------------------------------------------------------
     def read(
         self, path: str, offset: int, length: int
-    ) -> Generator[Event, object, bytes]:
-        """Read bytes, faulting missing pages in from FUSE."""
+    ) -> Generator[Event, object, bytearray]:
+        """Read bytes, faulting missing pages in from FUSE.
+
+        The returned buffer is a fresh snapshot owned by the caller —
+        no cache page aliases it, so callers may mutate or adopt it.
+        """
         self._check(path, offset, length)
         if length == 0:
-            return b""
-        first = offset // self.page_size
-        last = (offset + length - 1) // self.page_size
+            return bytearray()
+        page_size = self.page_size
+        first = offset // page_size
+        last = (offset + length - 1) // page_size
+        pages = self._pages
         # Group contiguous missing pages into ranged faults.
         run_start: int | None = None
         resident = 0
+        misses = 0
         for page_idx in range(first, last + 1):
             key = (path, page_idx)
-            if key in self._pages:
-                self._pages.move_to_end(key)
-                self.stats.hits += 1
+            page = pages.get(key)
+            if page is not None:
+                pages.move_to_end(key)
+                self._tick += 1
+                page.lru = self._tick
                 resident += 1
                 if run_start is not None:
                     yield from self._fault_range(path, run_start, page_idx - 1)
                     run_start = None
             else:
-                self.stats.misses += 1
+                misses += 1
                 if run_start is None:
                     run_start = page_idx
+        self.stats.hits += resident
+        self.stats.misses += misses
         if run_start is not None:
             yield from self._fault_range(path, run_start, last)
-        yield from self._dram_access(AccessKind.READ, resident * self.page_size)
+        if resident:
+            yield from self._dram.access(
+                AccessKind.READ, resident * page_size
+            )
         # Assemble the requested bytes from resident pages.
-        parts: list[bytes] = []
+        out = bytearray(length)
+        pos = 0
         cursor = offset
         end = offset + length
         while cursor < end:
-            page_idx = cursor // self.page_size
-            in_page = cursor - page_idx * self.page_size
-            piece = min(self.page_size - in_page, end - cursor)
+            page_idx = cursor // page_size
+            in_page = cursor - page_idx * page_size
+            piece = min(page_size - in_page, end - cursor)
             key = (path, page_idx)
-            page = self._pages.get(key)
+            page = pages.get(key)
             if page is None:
                 # A range larger than the cache evicted its own head while
                 # faulting its tail; refault just this page.
                 yield from self._fault_range(path, page_idx, page_idx)
-                page = self._pages[key]
-            self._pages.move_to_end(key)
-            parts.append(bytes(page.data[in_page : in_page + piece]))
+                page = pages[key]
+            pages.move_to_end(key)
+            self._tick += 1
+            page.lru = self._tick
+            if piece == page_size:
+                out[pos : pos + page_size] = page.data
+            else:
+                out[pos : pos + piece] = memoryview(page.data)[
+                    in_page : in_page + piece
+                ]
+            pos += piece
             cursor += piece
-        self.metrics.add("pagecache.read.bytes", length)
-        return b"".join(parts)
+        counter = self._read_counter
+        if counter is None:
+            counter = self._read_counter = self.metrics.counter(
+                "pagecache.read.bytes"
+            )
+        counter.total += length
+        counter.count += 1
+        return out
 
     def write(
         self, path: str, offset: int, data: bytes
@@ -249,52 +413,167 @@ class PageCache:
         self._check(path, offset, len(data))
         if not data:
             return
+        pages = self._pages
+        inflight = self._inflight
+        page_size = self.page_size
+        capacity = self.capacity_pages
+        src = memoryview(data)
         cursor = offset
         end = offset + len(data)
         written_resident = 0
+        hits = 0
+        misses = 0
         while cursor < end:
-            page_idx = cursor // self.page_size
-            in_page = cursor - page_idx * self.page_size
-            piece = min(self.page_size - in_page, end - cursor)
+            page_idx = cursor // page_size
+            in_page = cursor - page_idx * page_size
+            piece = min(page_size - in_page, end - cursor)
             key = (path, page_idx)
-            page = self._pages.get(key)
+            page = pages.get(key)
             if page is None:
-                self.stats.misses += 1
-                if piece == self.page_size:
-                    # Full-page overwrite: allocate without fetching.
-                    page, _created = yield from self._insert(path, page_idx)
+                misses += 1
+                if piece == page_size:
+                    # Full-page overwrite: allocate without fetching,
+                    # handing the payload straight to the new page (no
+                    # zero-fill, no second copy).
+                    start = cursor - offset
+                    if key not in inflight and len(pages) < capacity:
+                        page = self._new_page(
+                            path, page_idx,
+                            bytearray(src[start : start + page_size]),
+                        )
+                        page.dirty = True
+                        written_resident += page_size
+                        cursor += page_size
+                        continue
+                    page, created = yield from self._insert(
+                        path, page_idx, bytearray(src[start : start + page_size])
+                    )
+                    if created:
+                        page.dirty = True
+                        written_resident += page_size
+                        cursor += page_size
+                        continue
                 else:
                     yield from self._fault_range(path, page_idx, page_idx)
-                    page = self._pages[key]
+                    page = pages[key]
             else:
-                self.stats.hits += 1
-                self._pages.move_to_end(key)
-            page.data[in_page : in_page + piece] = data[
-                cursor - offset : cursor - offset + piece
-            ]
+                hits += 1
+                pages.move_to_end(key)
+                self._tick += 1
+                page.lru = self._tick
+            start = cursor - offset
+            page.data[in_page : in_page + piece] = src[start : start + piece]
             page.dirty = True
             written_resident += piece
             cursor += piece
-        yield from self._dram_access(AccessKind.WRITE, written_resident)
-        self.metrics.add("pagecache.write.bytes", len(data))
+        self.stats.hits += hits
+        self.stats.misses += misses
+        if written_resident:
+            yield from self._dram.access(AccessKind.WRITE, written_resident)
+        counter = self._write_counter
+        if counter is None:
+            counter = self._write_counter = self.metrics.counter(
+                "pagecache.write.bytes"
+            )
+        counter.total += len(data)
+        counter.count += 1
 
     # ------------------------------------------------------------------
     def drain_path(self, path: str) -> Generator[Event, object, None]:
         """Wait until no eviction flush for ``path`` is in flight."""
         while True:
-            pending = [
-                event for key, event in self._inflight.items() if key[0] == path
-            ]
-            if not pending:
+            bucket = self._inflight_by_path.get(path)
+            if not bucket:
                 return
-            yield pending[0]
+            yield next(iter(bucket.values()))
 
     def sync_path(self, path: str) -> Generator[Event, object, None]:
-        """Flush all dirty pages of ``path`` to FUSE (msync)."""
+        """Flush all dirty pages of ``path`` to FUSE (msync).
+
+        Runs of LRU-consecutive, file-contiguous full dirty pages inside
+        one chunk are shipped with a single ``write_ranges`` call whose
+        ``pre_range_delay`` charges the same per-page FUSE crossing the
+        page-by-page path pays; each page's payload is snapshotted (and
+        its dirty bit cleared) lazily right before its range goes out, so
+        writes racing the sync re-dirty exactly the pages they would
+        have.  The file's tail page, being a partial write, still flushes
+        through :meth:`_flush_page`.
+        """
         yield from self.drain_path(path)
-        for (p, page_idx), page in list(self._pages.items()):
-            if p == path and page.dirty:
-                yield from self._flush_page(p, page_idx, page)
+        bucket = self._by_path.get(path)
+        if bucket:
+            pages = self._pages
+            page_size = self.page_size
+            size = self.mount.stat_size(path)
+            chunk_size = self.mount.chunk_size
+            cache = self._fuse_cache()
+            overhead = self.fuse_op_overhead or None
+            # Snapshot this path's pages in LRU order (stamp order ==
+            # dict order); dirtiness is re-checked at flush time, as the
+            # page-by-page loop would.
+            snapshot = sorted(
+                ((page := pages[(path, i)]).lru, i, page) for i in bucket
+            )
+            j = 0
+            total = len(snapshot)
+            while j < total:
+                _, page_idx, page = snapshot[j]
+                if not page.dirty:
+                    j += 1
+                    continue
+                offset = page_idx * page_size
+                if size - offset < page_size:
+                    # Tail page: partial write, flush alone.
+                    yield from self._flush_page(path, page_idx, page)
+                    j += 1
+                    continue
+                chunk_index = offset // chunk_size
+                chunk_base = chunk_index * chunk_size
+                # Extend over LRU-consecutive, index-contiguous full
+                # dirty pages of the same chunk.
+                batch = [(page_idx, page)]
+                k = j + 1
+                while k < total:
+                    _, nxt_idx, nxt_page = snapshot[k]
+                    nxt_off = nxt_idx * page_size
+                    if (
+                        nxt_idx != batch[-1][0] + 1
+                        or not nxt_page.dirty
+                        or nxt_off // chunk_size != chunk_index
+                        or size - nxt_off < page_size
+                    ):
+                        break
+                    batch.append((nxt_idx, nxt_page))
+                    k += 1
+                flushed = 0
+
+                def _ranges() -> Generator[tuple[int, bytes], None, None]:
+                    # Consumed lazily by write_ranges: page m's payload
+                    # is snapshotted (and un-dirtied) only after page
+                    # m-1's write completed — the same instant the
+                    # page-by-page loop would have snapshotted it.
+                    nonlocal flushed
+                    for idx2, pg in batch:
+                        if not pg.dirty:
+                            continue  # flushed meanwhile (e.g. evicted)
+                        payload = bytes(pg.data)
+                        pg.dirty = False
+                        flushed += 1
+                        yield (idx2 * page_size - chunk_base, payload)
+
+                yield from cache.write_ranges(
+                    path, chunk_index, _ranges(), pre_range_delay=overhead
+                )
+                if flushed:
+                    self.stats.writeback_bytes += flushed * page_size
+                    counter = self._writeback_counter
+                    if counter is None:
+                        counter = self._writeback_counter = self.metrics.counter(
+                            "pagecache.writeback.bytes"
+                        )
+                    counter.total += flushed * page_size
+                    counter.count += flushed
+                j = k
         yield from self.drain_path(path)
 
     def drop_path(self, path: str, *, sync: bool = True) -> Generator[Event, object, None]:
@@ -303,8 +582,11 @@ class PageCache:
             yield from self.sync_path(path)
         else:
             yield from self.drain_path(path)
-        for key in [k for k in self._pages if k[0] == path]:
-            del self._pages[key]
+        bucket = self._by_path.pop(path, None)
+        if bucket:
+            pages = self._pages
+            for page_idx in bucket:
+                del pages[(path, page_idx)]
 
     def _check(self, path: str, offset: int, length: int) -> None:
         size = self.mount.stat_size(path)

@@ -32,6 +32,9 @@ class Network:
         self.spec = spec
         self.metrics = metrics if metrics is not None else MetricsRecorder()
         self._nics: dict[str, NIC] = {}
+        # (src, dst) -> resolved counter objects; transfers are hot
+        # enough that per-call name formatting shows up in profiles.
+        self._pair_counters: dict[str, object] = {}
 
     def attach(self, endpoint: str) -> NIC:
         """Register ``endpoint`` and give it a NIC."""
@@ -70,9 +73,17 @@ class Network:
             yield rx_req
             try:
                 duration = self.spec.transfer_time(nbytes)
-                self.metrics.add("network.bytes", nbytes)
-                self.metrics.add(f"network.{src}.tx.bytes", nbytes)
-                self.metrics.add(f"network.{dst}.rx.bytes", nbytes)
+                counters = self._pair_counters.get((src, dst))
+                if counters is None:
+                    metrics = self.metrics
+                    counters = self._pair_counters[(src, dst)] = (
+                        metrics.counter("network.bytes"),
+                        metrics.counter(f"network.{src}.tx.bytes"),
+                        metrics.counter(f"network.{dst}.rx.bytes"),
+                    )
+                for counter in counters:
+                    counter.total += nbytes
+                    counter.count += 1
                 yield self.engine.timeout(duration)
             finally:
                 dst_nic.rx.release(rx_req)

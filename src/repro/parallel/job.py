@@ -148,6 +148,33 @@ class Job:
             )
 
     # ------------------------------------------------------------------
+    def cache_stats(self):
+        """Aggregate chunk-cache and page-cache stats across the job's
+        nodes, as ``(CacheStats, PageCacheStats)`` sums.
+
+        Empty (all-zero) when the job never assembled an NVM store.
+        """
+        from repro.fusefs.cache import CacheStats
+        from repro.mem.pagecache import PageCacheStats
+
+        chunk = CacheStats()
+        page = PageCacheStats()
+        for nvm in self._nvmallocs.values():
+            cs = nvm.mount.cache.stats
+            chunk.hits += cs.hits
+            chunk.misses += cs.misses
+            chunk.fetched_bytes += cs.fetched_bytes
+            chunk.prefetched_bytes += cs.prefetched_bytes
+            chunk.writeback_bytes += cs.writeback_bytes
+            chunk.evictions += cs.evictions
+            chunk.dirty_evictions += cs.dirty_evictions
+            ps = nvm.pagecache.stats
+            page.hits += ps.hits
+            page.misses += ps.misses
+            page.faulted_bytes += ps.faulted_bytes
+            page.writeback_bytes += ps.writeback_bytes
+        return chunk, page
+
     def nvmalloc_for(self, rank: int) -> NVMalloc:
         """The (node-shared) NVMalloc context serving ``rank``."""
         if not self.config.uses_nvm:

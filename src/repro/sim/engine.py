@@ -19,6 +19,8 @@ class Engine:
     reference to it.
     """
 
+    __slots__ = ("_now", "_heap", "_seq", "_active_processes")
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
@@ -58,7 +60,11 @@ class Engine:
             raise SimulationError("no more events to process")
         time, _, event = heapq.heappop(self._heap)
         self._now = time
-        event._process()
+        # Inline Event._process: the heap pop/dispatch pair runs for every
+        # single event of a simulation, so one avoided call matters.
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
 
     def run(self, until: float | Event | None = None) -> object:
         """Run the simulation.
@@ -68,31 +74,41 @@ class Engine:
         - ``until`` is an :class:`Event` (e.g. a :class:`Process`): run until
           that event fires, then return its value (re-raising a failure).
         """
+        heap = self._heap
+        heappop = heapq.heappop
         if isinstance(until, Event):
             stop_event = until
-            while not stop_event.processed:
-                if not self._heap:
+            while stop_event.callbacks is not None:
+                if not heap:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event "
                         "fired (deadlock: a process is waiting on an event "
                         "nothing will trigger)"
                     )
-                self.step()
+                time, _, event = heappop(heap)
+                self._now = time
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
             if not stop_event.ok:
                 value = stop_event.value
                 assert isinstance(value, BaseException)
                 raise value
             return stop_event.value
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                time, _, event = heappop(heap)
+                self._now = time
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
             return None
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(
                 f"until={horizon} is in the past (now={self._now})"
             )
-        while self._heap and self._heap[0][0] <= horizon:
+        while heap and heap[0][0] <= horizon:
             self.step()
         self._now = max(self._now, horizon)
         return None

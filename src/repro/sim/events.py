@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 from repro.errors import SimulationError
 
@@ -57,10 +58,14 @@ class Event:
         """Schedule this event to trigger with ``value`` after ``delay``."""
         if self._scheduled:
             raise SimulationError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._value = value
         self._ok = True
         self._scheduled = True
-        self.engine.schedule(self, delay)
+        engine = self.engine
+        engine._seq += 1
+        heappush(engine._heap, (engine._now + delay, engine._seq, self))
         return self
 
     def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
@@ -69,10 +74,14 @@ class Event:
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         if self._scheduled:
             raise SimulationError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._value = exception
         self._ok = False
         self._scheduled = True
-        self.engine.schedule(self, delay)
+        engine = self.engine
+        engine._seq += 1
+        heappush(engine._heap, (engine._now + delay, engine._seq, self))
         return self
 
     # Called by the engine when the event fires.
@@ -104,9 +113,17 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: object = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(engine)
+        # Timeouts are the hottest event type (every device access, FUSE
+        # crossing, and compute step creates one): construct pre-triggered
+        # in one go instead of going through __init__ + succeed().
+        self.engine = engine
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._scheduled = True
         self.delay = delay
-        self.succeed(value, delay=delay)
+        engine._seq += 1
+        heappush(engine._heap, (engine._now + delay, engine._seq, self))
 
 
 class Interrupt(Exception):

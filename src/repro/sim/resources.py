@@ -11,9 +11,10 @@ from __future__ import annotations
 import typing
 from collections import deque
 from collections.abc import Generator
+from heapq import heappush
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
@@ -25,12 +26,23 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.engine)
+        # Requests are created for every device/NIC access: initialize the
+        # Event slots in place rather than through super().__init__.
+        self.engine = resource.engine
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._scheduled = False
         self.resource = resource
 
 
 class Resource:
     """``capacity`` interchangeable slots, granted first-come first-served."""
+
+    __slots__ = (
+        "engine", "capacity", "name", "_queue", "_users",
+        "_busy_time", "_last_change", "_last_users",
+    )
 
     def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -73,28 +85,42 @@ class Resource:
     def request(self) -> Request:
         """Claim a slot; the returned event fires when the claim is granted."""
         req = Request(self)
-        if len(self._users) < self.capacity:
-            self._account()
-            self._users.add(req)
-            self._last_users = len(self._users)
-            req.succeed(req)
+        users = self._users
+        if len(users) < self.capacity:
+            engine = self.engine
+            now = engine._now
+            self._busy_time += self._last_users * (now - self._last_change)
+            self._last_change = now
+            users.add(req)
+            self._last_users = len(users)
+            # Inline Event.succeed without its already-triggered/delay
+            # checks: a freshly built Request cannot have fired yet.
+            req._value = req
+            req._scheduled = True
+            engine._seq += 1
+            heappush(engine._heap, (now, engine._seq, req))
         else:
             self._queue.append(req)
         return req
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
-        if request not in self._users:
+        users = self._users
+        if request not in users:
             raise SimulationError(
                 f"release of a request that does not hold {self.name or 'resource'}"
             )
-        self._account()
-        self._users.remove(request)
-        while self._queue and len(self._users) < self.capacity:
-            nxt = self._queue.popleft()
-            self._users.add(nxt)
+        now = self.engine._now
+        self._busy_time += self._last_users * (now - self._last_change)
+        self._last_change = now
+        users.remove(request)
+        queue = self._queue
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            nxt = queue.popleft()
+            users.add(nxt)
             nxt.succeed(nxt)
-        self._last_users = len(self._users)
+        self._last_users = len(users)
 
     def cancel(self, request: Request) -> None:
         """Withdraw a request: releases it if granted, dequeues it if not."""

@@ -52,6 +52,10 @@ class Benefactor:
             range(0, self.contribution - chunk_size + 1, chunk_size)
         )
         self._free_extents.reverse()  # pop() from low offsets first
+        # Hot-path counters, resolved on first use so untouched metrics
+        # never materialize (snapshots stay identical to on-demand adds).
+        self._in_counter = None
+        self._out_counter = None
         self.online = True  # the manager's view (set via mark_offline)
         self.crashed = False  # ground truth: the node is actually dead
 
@@ -153,18 +157,35 @@ class Benefactor:
                 f"chunk of {self.chunk_size}"
             )
         yield from self.node.network.transfer(client, self.name, len(data))
-        payload = self._materialize(chunk_id)
-        payload[offset : offset + len(data)] = data
+        payload = self._data.get(chunk_id)
+        if payload is None and len(data) == self.chunk_size:
+            # First write covering the whole chunk: adopt one copy of the
+            # payload instead of zero-filling a buffer and overwriting it.
+            if not self._free_extents:
+                raise CapacityError(f"{self.name}: no free extents")
+            self._extents[chunk_id] = self._free_extents.pop()
+            self._data[chunk_id] = bytearray(data)
+        else:
+            if payload is None:
+                payload = self._materialize(chunk_id)
+            payload[offset : offset + len(data)] = data
         yield from self.ssd.write_extent(self._extent_of(chunk_id) + offset, len(data))
-        self.metrics.add("store.benefactor.bytes_in", len(data))
+        counter = self._in_counter
+        if counter is None:
+            counter = self._in_counter = self.metrics.counter(
+                "store.benefactor.bytes_in"
+            )
+        counter.total += len(data)
+        counter.count += 1
 
     def fetch_chunk(
         self, client: str, chunk_id: int, offset: int = 0, length: int | None = None
-    ) -> Generator[Event, object, bytes]:
+    ) -> Generator[Event, object, bytearray]:
         """Read chunk bytes and ship them to ``client``.
 
         Unmaterialized chunks read as zeroes (space reservation creates no
-        data, matching ``posix_fallocate`` semantics).
+        data, matching ``posix_fallocate`` semantics).  The returned
+        buffer is a fresh snapshot owned by the caller.
         """
         self._check_online()
         if length is None:
@@ -176,11 +197,19 @@ class Benefactor:
             )
         if chunk_id in self._data:
             yield from self.ssd.read_extent(self._extent_of(chunk_id) + offset, length)
-            data = bytes(self._data[chunk_id][offset : offset + length])
+            # One copy into a fresh buffer the receiver owns outright —
+            # the chunk cache adopts it instead of copying again.
+            data = bytearray(memoryview(self._data[chunk_id])[offset : offset + length])
         else:
-            data = bytes(length)  # reserved-but-unwritten: zeroes, no device read
+            data = bytearray(length)  # reserved-but-unwritten: zeroes, no device read
         yield from self.node.network.transfer(self.name, client, len(data))
-        self.metrics.add("store.benefactor.bytes_out", len(data))
+        counter = self._out_counter
+        if counter is None:
+            counter = self._out_counter = self.metrics.counter(
+                "store.benefactor.bytes_out"
+            )
+        counter.total += len(data)
+        counter.count += 1
         return data
 
     def copy_chunk_local(

@@ -34,6 +34,10 @@ class StoreClient:
         self.metrics = metrics if metrics is not None else node.metrics
         # (file, generation) -> {index: (chunk_id, benefactor)}
         self._map_cache: dict[str, tuple[int, dict[int, tuple[int, Benefactor]]]] = {}
+        # Hot-path counters, resolved on first use (snapshot-identical
+        # to per-call ``metrics.add``).
+        self._read_counter = None
+        self._write_counter = None
 
     @property
     def client_name(self) -> str:
@@ -110,18 +114,34 @@ class StoreClient:
                 self.client_name, chunk_id, chunk_off, piece
             )
             parts.append(data)
-        self.metrics.add("store.client.bytes_read", length)
+        counter = self._read_counter
+        if counter is None:
+            counter = self._read_counter = self.metrics.counter(
+                "store.client.bytes_read"
+            )
+        counter.total += length
+        counter.count += 1
         return b"".join(parts)
 
-    def read_chunk(self, name: str, index: int) -> Generator[Event, object, bytes]:
-        """Read one whole chunk (the FUSE layer's fetch granularity)."""
+    def read_chunk(self, name: str, index: int) -> Generator[Event, object, bytearray]:
+        """Read one whole chunk (the FUSE layer's fetch granularity).
+
+        Returns a fresh buffer the caller owns outright (the chunk cache
+        adopts it as an entry payload without another copy).
+        """
         chunk_id, benefactor = yield from self._resolve(name, index)
         meta = self.manager.lookup(name)
         length = min(self.chunk_size, meta.size - index * self.chunk_size)
         data = yield from benefactor.fetch_chunk(
             self.client_name, chunk_id, 0, length
         )
-        self.metrics.add("store.client.bytes_read", length)
+        counter = self._read_counter
+        if counter is None:
+            counter = self._read_counter = self.metrics.counter(
+                "store.client.bytes_read"
+            )
+        counter.total += length
+        counter.count += 1
         return data
 
     def write(
@@ -164,7 +184,13 @@ class StoreClient:
                 self.client_name, chunk_id, payload, chunk_off
             )
             total += len(payload)
-        self.metrics.add("store.client.bytes_written", total)
+        counter = self._write_counter
+        if counter is None:
+            counter = self._write_counter = self.metrics.counter(
+                "store.client.bytes_written"
+            )
+        counter.total += total
+        counter.count += 1
 
     # ------------------------------------------------------------------
     def _check_range(self, name: str, offset: int, length: int) -> None:

@@ -12,7 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A monotonically increasing value with an operation count."""
 
@@ -70,7 +70,9 @@ class MetricsRecorder:
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name].add(amount)
+        counter = self._counters[name]
+        counter.total += amount
+        counter.count += 1
 
     def value(self, name: str) -> float:
         """Current total of counter ``name`` (0 when never touched)."""

@@ -74,6 +74,10 @@ class MatmulResult:
     # app accesses to B -> requests to FUSE -> transfers to/from SSD.
     compute_flows: dict[str, float] = field(default_factory=dict)
     verified: bool = False
+    # End-of-run cache behaviour, summed over the job's nodes
+    # (CacheStats / PageCacheStats; None for DRAM-only runs).
+    chunk_cache: object = None
+    page_cache: object = None
 
     @property
     def total(self) -> float:
@@ -421,4 +425,6 @@ def run_matmul(
     # Logical accesses to B during compute: every rank sweeps all of B.
     result.compute_flows.setdefault("app_to_b", 0.0)
     result.verified = all(r["verified"] for r in results)  # type: ignore[index]
+    if job.config.uses_nvm:
+        result.chunk_cache, result.page_cache = job.cache_stats()
     return result

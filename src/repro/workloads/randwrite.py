@@ -45,6 +45,10 @@ class RandWriteResult:
     written_to_fuse: float  # page cache -> FUSE layer
     written_to_ssd: float  # FUSE -> benefactor SSDs
     verified: bool
+    # End-of-run cache behaviour, summed over the job's nodes
+    # (CacheStats / PageCacheStats).
+    chunk_cache: object = None
+    page_cache: object = None
 
     @property
     def amplification_to_ssd(self) -> float:
@@ -109,6 +113,7 @@ def run_randwrite(job: Job, config: RandWriteConfig, *, ranks: int = 1) -> RandW
     proc = job.engine.process(_randwrite_rank(ctx, config))
     outcome = job.engine.run(proc)
     assert isinstance(outcome, dict)
+    chunk_stats, page_stats = job.cache_stats()
     return RandWriteResult(
         config=config,
         optimized=job.config.dirty_page_writeback,
@@ -116,4 +121,6 @@ def run_randwrite(job: Job, config: RandWriteConfig, *, ranks: int = 1) -> RandW
         written_to_fuse=metrics.value("fuse.write.bytes") - before_fuse,
         written_to_ssd=metrics.value("store.client.bytes_written") - before_ssd,
         verified=bool(outcome["verified"]),
+        chunk_cache=chunk_stats,
+        page_cache=page_stats,
     )

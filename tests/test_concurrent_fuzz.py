@@ -108,3 +108,30 @@ def test_concurrent_ranks_never_corrupt(scripts, seed):
         engine.process(rank(i, ops)) for i, ops in enumerate(scripts)
     ]
     assert all(engine.run_all(procs))
+    _assert_index_consistent(lib)
+
+
+def _assert_index_consistent(lib):
+    """The per-path key indexes must mirror the LRU dicts exactly.
+
+    Path-scoped operations (flush/sync/drop/invalidate) trust
+    ``_by_path`` instead of scanning all entries, so any divergence —
+    a stale bucket, an unindexed entry, a stamp out of LRU order —
+    silently corrupts flushes under exactly the interleavings this
+    fuzz generates.  Checked at quiescence, when nothing is in flight.
+    """
+    for cache, entries in (
+        (lib.mount.cache, lib.mount.cache._entries),
+        (lib.pagecache, lib.pagecache._pages),
+    ):
+        indexed = {
+            (path, index)
+            for path, bucket in cache._by_path.items()
+            for index in bucket
+        }
+        assert indexed == set(entries), "per-path index diverged from LRU dict"
+        assert all(cache._by_path.values()), "empty per-path bucket leaked"
+        stamps = [entry.lru for entry in entries.values()]
+        assert stamps == sorted(stamps), "LRU stamps out of dict order"
+        assert not cache._inflight, "in-flight op survived quiescence"
+        assert not cache._inflight_by_path, "stale in-flight bucket"

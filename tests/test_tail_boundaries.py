@@ -114,3 +114,78 @@ class TestUnalignedMappings:
             return (yield from mount.pread(fd, PAGE_SIZE, 100))
 
         assert run(engine, proc()) == b"z" * 100
+
+
+class TestBatchedReadBoundaries:
+    """Batched (ranged) page-cache reads across chunk seams and tails.
+
+    The fast path groups contiguous missing pages into one fault per
+    chunk piece and assembles the result without per-page copies; these
+    tests pin that a single read spanning a chunk boundary, or running
+    into a partial tail page, returns exactly the written bytes.
+    """
+
+    def _filled_file(self, engine, mount, pagecache, name, size):
+        payload = bytes((i * 13 + 5) % 256 for i in range(size))
+
+        def proc():
+            fd = yield from mount.open(
+                name, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+            )
+            yield from mount.pwrite(fd, 0, payload)
+            yield from mount.fsync(fd)
+            yield from mount.close(fd)
+            # Cold page cache: the batched read faults everything.
+            yield from pagecache.drop_path(name, sync=False)
+
+        run(engine, proc())
+        return payload
+
+    def test_read_spanning_chunk_boundary(self, engine, mount):
+        pagecache = PageCache(mount, capacity_bytes=1 * MiB)
+        size = 2 * CHUNK_SIZE
+        payload = self._filled_file(engine, mount, pagecache, "/span", size)
+        start = CHUNK_SIZE - 3 * PAGE_SIZE - 17
+        length = 6 * PAGE_SIZE + 23  # crosses the chunk seam mid-page
+
+        def proc():
+            return (yield from pagecache.read("/span", start, length))
+
+        assert bytes(run(engine, proc())) == payload[start : start + length]
+
+    @pytest.mark.parametrize(
+        "size",
+        [CHUNK_SIZE + PAGE_SIZE + 37, 2 * CHUNK_SIZE - 3, PAGE_SIZE + 1],
+    )
+    def test_read_into_file_tail(self, engine, mount, size):
+        pagecache = PageCache(mount, capacity_bytes=1 * MiB)
+        name = f"/batchtail/{size}"
+        payload = self._filled_file(engine, mount, pagecache, name, size)
+        # Span from a few pages before the tail through the last byte.
+        start = max(0, size - 3 * PAGE_SIZE - 11)
+
+        def proc():
+            return (yield from pagecache.read(name, start, size - start))
+
+        assert bytes(run(engine, proc())) == payload[start:]
+
+    def test_batched_write_then_batched_read(self, engine, mount):
+        """A ranged write over a cold cache reads back identically."""
+        pagecache = PageCache(mount, capacity_bytes=1 * MiB)
+        size = CHUNK_SIZE + 5 * PAGE_SIZE
+        name = "/batchrw"
+
+        def proc():
+            fd = yield from mount.open(
+                name, OpenFlags.O_RDWR | OpenFlags.O_CREAT, size=size
+            )
+            yield from mount.close(fd)
+            payload = bytes((i * 7 + 3) % 256 for i in range(size))
+            # One write spanning full pages, partial edges, and the seam.
+            yield from pagecache.write(name, 0, payload)
+            yield from pagecache.sync_path(name)
+            yield from pagecache.drop_path(name, sync=False)
+            back = yield from pagecache.read(name, 0, size)
+            return bytes(back) == payload
+
+        assert run(engine, proc())
