@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test bench bench-wallclock experiments examples clean
+.PHONY: install test bench bench-wallclock profile experiments examples clean
 
 install:
 	pip install -e .
@@ -15,6 +15,9 @@ bench-wallclock:
 	PYTHONPATH=src python tools/bench_wallclock.py \
 		--baseline benchmarks/BENCH_wallclock_seed.json --repeat 3
 	PYTHONPATH=src pytest benchmarks/test_wallclock_stack.py -m wallclock
+
+profile:
+	PYTHONPATH=src python tools/profile_stack.py --limit 25
 
 experiments:
 	python -m repro.experiments

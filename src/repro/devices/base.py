@@ -52,6 +52,13 @@ class StorageDevice:
             )
             for kind in AccessKind
         }
+        # Kind-resolved views of ``_counters`` plus pre-bound slot
+        # acquire/release, so the per-access hot loop does no dict/enum
+        # lookups and one attribute hop less per call.
+        self._read_stats = self._counters[AccessKind.READ]
+        self._write_stats = self._counters[AccessKind.WRITE]
+        self._acquire = self._channel.request
+        self._release = self._channel.release
         # Only call the _pre_access hook when a subclass actually has one.
         self._custom_pre_access = (
             type(self)._pre_access is not StorageDevice._pre_access
@@ -73,12 +80,14 @@ class StorageDevice:
         """Process generator: perform one access of ``nbytes``."""
         if nbytes < 0:
             raise DeviceError(f"{self.name}: negative access size {nbytes}")
-        req = self._channel.request()
+        req = self._acquire()
         yield req
         try:
             if self._custom_pre_access:
                 self._pre_access(kind, nbytes)
-            bytes_counter, time_counter, time_fn = self._counters[kind]
+            bytes_counter, time_counter, time_fn = (
+                self._read_stats if kind is AccessKind.READ else self._write_stats
+            )
             duration = time_fn(nbytes)
             bytes_counter.total += nbytes
             bytes_counter.count += 1
@@ -86,7 +95,7 @@ class StorageDevice:
             time_counter.count += 1
             yield self.engine.timeout(duration)
         finally:
-            self._channel.release(req)
+            self._release(req)
 
     def read(self, nbytes: int) -> Generator[Event, object, None]:
         """Process generator: one read access."""

@@ -116,7 +116,7 @@ class FlashTranslationLayer:
         self._check_lpn(lpn)
         return lpn in self._l2p
 
-    def write_pages(self, lpns: list[int]) -> tuple[int, int]:
+    def write_pages(self, lpns: "list[int] | range") -> tuple[int, int]:
         """Write the given logical pages out-of-place.
 
         Returns ``(relocated_pages, erases)`` triggered by garbage
@@ -139,7 +139,7 @@ class FlashTranslationLayer:
             self.stats.blocks_erased - erases_before,
         )
 
-    def trim_pages(self, lpns: list[int]) -> None:
+    def trim_pages(self, lpns: "list[int] | range") -> None:
         """Discard logical pages (TRIM): frees flash without rewriting."""
         for lpn in lpns:
             self._check_lpn(lpn)

@@ -62,7 +62,7 @@ class SSD(StorageDevice):
             return self.ftl.logical_pages * self.ftl.page_size
         return self.spec.capacity
 
-    def _page_range(self, offset: int, nbytes: int) -> list[int]:
+    def _page_range(self, offset: int, nbytes: int) -> range:
         if offset < 0 or nbytes < 0:
             raise DeviceError(f"{self.name}: bad extent ({offset}, {nbytes})")
         if offset + nbytes > self.logical_capacity:
@@ -74,7 +74,7 @@ class SSD(StorageDevice):
         page = self.ftl.page_size
         first = offset // page
         last = (offset + nbytes - 1) // page if nbytes else first - 1
-        return list(range(first, last + 1))
+        return range(first, last + 1)
 
     # ------------------------------------------------------------------
     def read_extent(self, offset: int, nbytes: int) -> Generator[Event, object, None]:
@@ -107,19 +107,19 @@ class SSD(StorageDevice):
                     )
                 counter.total += gc_penalty
                 counter.count += 1
-        req = self._channel.request()
+        req = self._acquire()
         yield req
         try:
-            duration = self.service_time(AccessKind.WRITE, nbytes) + gc_penalty
             # Same Counter objects the size-only write path uses.
-            bytes_counter, time_counter, _ = self._counters[AccessKind.WRITE]
+            bytes_counter, time_counter, time_fn = self._write_stats
+            duration = time_fn(nbytes) + gc_penalty
             bytes_counter.total += nbytes
             bytes_counter.count += 1
             time_counter.total += duration
             time_counter.count += 1
             yield self.engine.timeout(duration)
         finally:
-            self._channel.release(req)
+            self._release(req)
 
     def trim_extent(self, offset: int, nbytes: int) -> None:
         """Discard a logical extent (frees flash, no time charged)."""

@@ -182,10 +182,18 @@ class PageCache:
         key = (path, page_idx)
         pages = self._pages
         mount = self.mount
+        inflight = self._inflight
+        capacity = self.capacity_pages
+        by_path = self._by_path
+        page_size = self.page_size
+        chunk_size = mount.chunk_size
+        stat_size = mount.stat_size
+        cache_write = mount.cache.write
+        engine = self._engine
         while True:
             # Wait out an in-flight eviction flush of this very page.
-            while key in self._inflight:
-                yield self._inflight[key]
+            while key in inflight:
+                yield inflight[key]
             page = pages.get(key)
             if page is not None:
                 # Someone else faulted it back in while we waited.
@@ -193,7 +201,7 @@ class PageCache:
                 self._tick += 1
                 page.lru = self._tick
                 return page, False
-            while len(pages) >= self.capacity_pages:
+            while len(pages) >= capacity:
                 # Evict the LRU page, flushing dirty victims through
                 # FUSE first.  The eviction and the flush body (kept in
                 # sync with _flush_page, which sync_path still uses) are
@@ -203,24 +211,22 @@ class PageCache:
                 # hundreds of thousands of times per run.
                 vkey, victim = pages.popitem(last=False)
                 vpath, vidx = vkey
-                bucket = self._by_path[vpath]
+                bucket = by_path[vpath]
                 bucket.discard(vidx)
                 if not bucket:
-                    del self._by_path[vpath]
+                    del by_path[vpath]
                 if victim.dirty:
-                    done = Event(self._engine)
-                    self._inflight[vkey] = done
+                    done = Event(engine)
+                    inflight[vkey] = done
                     ibucket = self._inflight_by_path.get(vpath)
                     if ibucket is None:
                         ibucket = self._inflight_by_path[vpath] = {}
                     ibucket[vidx] = done
                     try:
-                        offset = vidx * self.page_size
-                        length = min(
-                            self.page_size, mount.stat_size(vpath) - offset
-                        )
-                        chunk_index = offset // mount.chunk_size
-                        chunk_off = offset - chunk_index * mount.chunk_size
+                        offset = vidx * page_size
+                        length = min(page_size, stat_size(vpath) - offset)
+                        chunk_index = offset // chunk_size
+                        chunk_off = offset - chunk_index * chunk_size
                         # Un-dirty before yielding: writes landing while
                         # the payload is in flight re-dirty the page.
                         vdata = victim.data
@@ -230,8 +236,8 @@ class PageCache:
                         )
                         victim.dirty = False
                         if self.fuse_op_overhead:
-                            yield self._engine.timeout(self.fuse_op_overhead)
-                        yield from mount.cache.write(
+                            yield engine.timeout(self.fuse_op_overhead)
+                        yield from cache_write(
                             vpath, chunk_index, chunk_off, payload
                         )
                         self.stats.writeback_bytes += length
@@ -243,12 +249,12 @@ class PageCache:
                         counter.total += length
                         counter.count += 1
                     finally:
-                        del self._inflight[vkey]
+                        del inflight[vkey]
                         del ibucket[vidx]
                         if not ibucket:
                             del self._inflight_by_path[vpath]
                         done.succeed(None)
-            if key in pages or key in self._inflight:
+            if key in pages or key in inflight:
                 continue  # appeared (or re-entered eviction) while evicting
             return self._new_page(path, page_idx, data), True
 
@@ -279,42 +285,52 @@ class PageCache:
         if self.fuse_op_overhead:
             yield self._engine.timeout(npages * self.fuse_op_overhead)
         pages = self._pages
+        pages_get = pages.get
+        move_to_end = pages.move_to_end
         page_size = self.page_size
         capacity = self.capacity_pages
         chunk_size = self.mount.chunk_size
         cursor = offset
         end = offset + length
+        # ``cursor`` stays page-aligned throughout: it starts at a page
+        # boundary and chunk pieces are page multiples except the file
+        # tail, which is the last piece.  So the inner loop can count
+        # page indices instead of dividing per page, and slice full
+        # pages straight out of the fetch buffer (a bytearray slice is
+        # already the fresh copy the new page adopts).
         while cursor < end:
             chunk_index = cursor // chunk_size
             chunk_off = cursor - chunk_index * chunk_size
             piece = min(chunk_size - chunk_off, end - cursor)
             buf = bytearray(piece)
             yield from cache.read_into(path, chunk_index, chunk_off, piece, buf)
-            view = memoryview(buf)
-            for inner in range(0, piece, page_size):
-                page_idx = (cursor + inner) // page_size
+            page_idx = cursor // page_size
+            inner = 0
+            while inner < piece:
+                remaining = piece - inner
+                seg_len = page_size if remaining >= page_size else remaining
                 key = (path, page_idx)
-                page = pages.get(key)
+                page = pages_get(key)
                 if page is not None:
                     # Concurrently faulted back in: only touch the LRU
                     # position, never overwrite (it may hold newer bytes).
-                    pages.move_to_end(key)
+                    move_to_end(key)
                     self._tick += 1
                     page.lru = self._tick
-                    continue
-                segment = view[inner : inner + page_size]
-                if key not in inflight and len(pages) < capacity:
+                elif key not in inflight and len(pages) < capacity:
                     # Fast path: no eviction and no flush to wait on —
                     # _insert would have returned without yielding.
-                    if len(segment) == page_size:
-                        self._new_page(path, page_idx, bytearray(segment))
-                        continue
-                    page = self._new_page(path, page_idx)
+                    if seg_len == page_size:
+                        self._new_page(path, page_idx, buf[inner : inner + page_size])
+                    else:
+                        page = self._new_page(path, page_idx)
+                        page.data[:seg_len] = buf[inner : inner + seg_len]
                 else:
                     page, created = yield from self._insert(path, page_idx)
-                    if not created:
-                        continue
-                page.data[: len(segment)] = segment
+                    if created:
+                        page.data[:seg_len] = buf[inner : inner + seg_len]
+                inner += page_size
+                page_idx += 1
             cursor += piece
         self.stats.faulted_bytes += length
         counter = self._fault_counter
@@ -343,52 +359,79 @@ class PageCache:
         first = offset // page_size
         last = (offset + length - 1) // page_size
         pages = self._pages
-        # Group contiguous missing pages into ranged faults.
+        pages_get = pages.get
+        move_to_end = pages.move_to_end
+        # Group contiguous missing pages into ranged faults.  ``tick``
+        # mirrors self._tick as a local; it is written back before every
+        # yield (other processes stamp pages too) and reloaded after.
         run_start: int | None = None
         resident = 0
         misses = 0
+        tick = self._tick
         for page_idx in range(first, last + 1):
             key = (path, page_idx)
-            page = pages.get(key)
+            page = pages_get(key)
             if page is not None:
-                pages.move_to_end(key)
-                self._tick += 1
-                page.lru = self._tick
+                move_to_end(key)
+                tick += 1
+                page.lru = tick
                 resident += 1
                 if run_start is not None:
+                    self._tick = tick
                     yield from self._fault_range(path, run_start, page_idx - 1)
+                    tick = self._tick
                     run_start = None
             else:
                 misses += 1
                 if run_start is None:
                     run_start = page_idx
+        self._tick = tick
         self.stats.hits += resident
         self.stats.misses += misses
         if run_start is not None:
             yield from self._fault_range(path, run_start, last)
         if resident:
-            yield from self._dram.access(
-                AccessKind.READ, resident * page_size
-            )
-        # Assemble the requested bytes from resident pages.
+            # Inlined StorageDevice.access (DRAM has no _pre_access hook;
+            # event-for-event identical, one generator hop less).
+            nbytes = resident * page_size
+            dram = self._dram
+            req = dram._acquire()
+            yield req
+            try:
+                bytes_counter, time_counter, time_fn = dram._read_stats
+                duration = time_fn(nbytes)
+                bytes_counter.total += nbytes
+                bytes_counter.count += 1
+                time_counter.total += duration
+                time_counter.count += 1
+                yield self._engine.timeout(duration)
+            finally:
+                dram._release(req)
+        # Assemble the requested bytes from resident pages.  Only the
+        # first page can start mid-page, so the page index advances by
+        # one per iteration instead of re-dividing the cursor.
         out = bytearray(length)
         pos = 0
-        cursor = offset
-        end = offset + length
-        while cursor < end:
-            page_idx = cursor // page_size
-            in_page = cursor - page_idx * page_size
-            piece = min(page_size - in_page, end - cursor)
+        page_idx = offset // page_size
+        in_page = offset - page_idx * page_size
+        tick = self._tick
+        while pos < length:
+            piece = page_size - in_page
+            rest = length - pos
+            if piece > rest:
+                piece = rest
             key = (path, page_idx)
-            page = pages.get(key)
+            page = pages_get(key)
             if page is None:
                 # A range larger than the cache evicted its own head while
                 # faulting its tail; refault just this page.
+                self._tick = tick
                 yield from self._fault_range(path, page_idx, page_idx)
+                tick = self._tick
                 page = pages[key]
-            pages.move_to_end(key)
-            self._tick += 1
-            page.lru = self._tick
+            move_to_end(key)
+            tick += 1
+            page.lru = tick
             if piece == page_size:
                 out[pos : pos + page_size] = page.data
             else:
@@ -396,7 +439,9 @@ class PageCache:
                     in_page : in_page + piece
                 ]
             pos += piece
-            cursor += piece
+            page_idx += 1
+            in_page = 0
+        self._tick = tick
         counter = self._read_counter
         if counter is None:
             counter = self._read_counter = self.metrics.counter(
@@ -414,28 +459,35 @@ class PageCache:
         if not data:
             return
         pages = self._pages
+        pages_get = pages.get
+        move_to_end = pages.move_to_end
         inflight = self._inflight
         page_size = self.page_size
         capacity = self.capacity_pages
+        length = len(data)
         src = memoryview(data)
-        cursor = offset
-        end = offset + len(data)
         written_resident = 0
         hits = 0
         misses = 0
-        while cursor < end:
-            page_idx = cursor // page_size
-            in_page = cursor - page_idx * page_size
-            piece = min(page_size - in_page, end - cursor)
+        # Only the first page can start mid-page: advance the page index
+        # instead of re-dividing the cursor each iteration.  ``start``
+        # is the position within ``data`` (== cursor - offset).
+        page_idx = offset // page_size
+        in_page = offset - page_idx * page_size
+        start = 0
+        while start < length:
+            piece = page_size - in_page
+            rest = length - start
+            if piece > rest:
+                piece = rest
             key = (path, page_idx)
-            page = pages.get(key)
+            page = pages_get(key)
             if page is None:
                 misses += 1
                 if piece == page_size:
                     # Full-page overwrite: allocate without fetching,
                     # handing the payload straight to the new page (no
                     # zero-fill, no second copy).
-                    start = cursor - offset
                     if key not in inflight and len(pages) < capacity:
                         page = self._new_page(
                             path, page_idx,
@@ -443,7 +495,8 @@ class PageCache:
                         )
                         page.dirty = True
                         written_resident += page_size
-                        cursor += page_size
+                        start += page_size
+                        page_idx += 1
                         continue
                     page, created = yield from self._insert(
                         path, page_idx, bytearray(src[start : start + page_size])
@@ -451,25 +504,41 @@ class PageCache:
                     if created:
                         page.dirty = True
                         written_resident += page_size
-                        cursor += page_size
+                        start += page_size
+                        page_idx += 1
                         continue
                 else:
                     yield from self._fault_range(path, page_idx, page_idx)
                     page = pages[key]
             else:
                 hits += 1
-                pages.move_to_end(key)
+                move_to_end(key)
                 self._tick += 1
                 page.lru = self._tick
-            start = cursor - offset
             page.data[in_page : in_page + piece] = src[start : start + piece]
             page.dirty = True
             written_resident += piece
-            cursor += piece
+            start += piece
+            page_idx += 1
+            in_page = 0
         self.stats.hits += hits
         self.stats.misses += misses
         if written_resident:
-            yield from self._dram.access(AccessKind.WRITE, written_resident)
+            # Inlined StorageDevice.access (DRAM has no _pre_access hook;
+            # event-for-event identical, one generator hop less).
+            dram = self._dram
+            req = dram._acquire()
+            yield req
+            try:
+                bytes_counter, time_counter, time_fn = dram._write_stats
+                duration = time_fn(written_resident)
+                bytes_counter.total += written_resident
+                bytes_counter.count += 1
+                time_counter.total += duration
+                time_counter.count += 1
+                yield self._engine.timeout(duration)
+            finally:
+                dram._release(req)
         counter = self._write_counter
         if counter is None:
             counter = self._write_counter = self.metrics.counter(

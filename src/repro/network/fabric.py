@@ -32,9 +32,12 @@ class Network:
         self.spec = spec
         self.metrics = metrics if metrics is not None else MetricsRecorder()
         self._nics: dict[str, NIC] = {}
-        # (src, dst) -> resolved counter objects; transfers are hot
-        # enough that per-call name formatting shows up in profiles.
-        self._pair_counters: dict[str, object] = {}
+        # (src, dst) -> (tx resource, rx resource, counter objects);
+        # transfers are hot enough that per-call NIC lookups and counter
+        # name formatting show up in profiles.
+        self._pair_state: dict[tuple[str, str], tuple] = {}
+        self._transfer_time = spec.transfer_time
+        self._timeout = engine.timeout
 
     def attach(self, endpoint: str) -> NIC:
         """Register ``endpoint`` and give it a NIC."""
@@ -64,31 +67,37 @@ class Network:
             raise NetworkError(f"negative transfer size {nbytes}")
         if src == dst:
             return  # node-local: no network involvement
-        src_nic = self.nic(src)
-        dst_nic = self.nic(dst)
-        tx_req = src_nic.tx.request()
+        state = self._pair_state.get((src, dst))
+        if state is None:
+            metrics = self.metrics
+            state = self._pair_state[(src, dst)] = (
+                self.nic(src).tx,
+                self.nic(dst).rx,
+                (
+                    metrics.counter("network.bytes"),
+                    metrics.counter(f"network.{src}.tx.bytes"),
+                    metrics.counter(f"network.{dst}.rx.bytes"),
+                ),
+            )
+        tx, rx, counters = state
+        tx_req = tx.request()
         yield tx_req
-        rx_req = dst_nic.rx.request()
+        rx_req = rx.request()
         try:
             yield rx_req
             try:
-                duration = self.spec.transfer_time(nbytes)
-                counters = self._pair_counters.get((src, dst))
-                if counters is None:
-                    metrics = self.metrics
-                    counters = self._pair_counters[(src, dst)] = (
-                        metrics.counter("network.bytes"),
-                        metrics.counter(f"network.{src}.tx.bytes"),
-                        metrics.counter(f"network.{dst}.rx.bytes"),
-                    )
-                for counter in counters:
-                    counter.total += nbytes
-                    counter.count += 1
-                yield self.engine.timeout(duration)
+                c_net, c_tx, c_rx = counters
+                c_net.total += nbytes
+                c_net.count += 1
+                c_tx.total += nbytes
+                c_tx.count += 1
+                c_rx.total += nbytes
+                c_rx.count += 1
+                yield self._timeout(self._transfer_time(nbytes))
             finally:
-                dst_nic.rx.release(rx_req)
+                rx.release(rx_req)
         finally:
-            src_nic.tx.release(tx_req)
+            tx.release(tx_req)
 
     def total_bytes(self) -> float:
         """All bytes that crossed the fabric so far."""

@@ -60,9 +60,12 @@ class Communicator:
 
     def _inbox(self, src: int, dst: int, tag: int) -> Channel:
         key = (src, dst, tag)
-        if key not in self._inboxes:
-            self._inboxes[key] = Channel(self.engine, name=f"{src}->{dst}#{tag}")
-        return self._inboxes[key]
+        channel = self._inboxes.get(key)
+        if channel is None:
+            channel = self._inboxes[key] = Channel(
+                self.engine, name=f"{src}->{dst}#{tag}"
+            )
+        return channel
 
     # ------------------------------------------------------------------
     # Point-to-point
@@ -71,14 +74,32 @@ class Communicator:
         self, data: object, *, src: int, dest: int, tag: int = 0
     ) -> Generator[Event, object, None]:
         """Blocking-send semantics: returns once the payload is delivered."""
-        self._check_rank(src)
-        self._check_rank(dest)
+        nodes = self.nodes
+        size = len(nodes)
+        if not 0 <= src < size:
+            raise CommError(f"rank {src} out of range (size {size})")
+        if not 0 <= dest < size:
+            raise CommError(f"rank {dest} out of range (size {size})")
         nbytes = payload_bytes(data)
-        src_node = self.nodes[src]
-        dst_node = self.nodes[dest]
+        src_node = nodes[src]
+        dst_node = nodes[dest]
         if src_node is dst_node:
-            # Same node: shared-memory copy at DRAM speed.
-            yield from src_node.dram.access(AccessKind.WRITE, nbytes)
+            # Same node: shared-memory copy at DRAM speed.  Inlined
+            # StorageDevice.access (DRAM has no _pre_access hook;
+            # event-for-event identical, one generator hop less).
+            dram = src_node.dram
+            req = dram._acquire()
+            yield req
+            try:
+                bytes_counter, time_counter, time_fn = dram._write_stats
+                duration = time_fn(nbytes)
+                bytes_counter.total += nbytes
+                bytes_counter.count += 1
+                time_counter.total += duration
+                time_counter.count += 1
+                yield self.engine.timeout(duration)
+            finally:
+                dram._release(req)
         else:
             yield from src_node.network.transfer(src_node.name, dst_node.name, nbytes)
         self._inbox(src, dest, tag).put(data)

@@ -1,30 +1,68 @@
-"""The event loop: a time-ordered heap of triggered events."""
+"""The event loop: a zero-delay "now ring" plus a time-ordered heap.
+
+Two queues hold triggered events:
+
+- ``_heap`` — a ``(time, seq, event)`` heap for events with a positive
+  delay; ``seq`` breaks timestamp ties in schedule order.
+- ``_ring`` — an append-only FIFO of events that fire *at the current
+  instant* (``delay == 0``, or a positive delay too small to advance the
+  float clock).  The zero-delay fast path skips the heap round-trip that
+  would otherwise dominate resource grants, channel handoffs, and
+  immediate ``succeed()`` chains, and needs neither a sequence number
+  nor an entry tuple.
+
+Ordering invariant (the reason virtual results stay bit-identical with a
+plain heapq kernel): at any instant ``t``, every heap entry at time ``t``
+was pushed *before* processing of ``t`` began — the ring was empty when
+``t`` started, and any schedule during ``t`` that lands at ``t`` goes to
+the ring, never the heap.  Hence all heap entries at ``now`` precede all
+ring entries in schedule order, and the dispatch rule "drain heap
+entries at ``now`` first, then the ring, then advance time" reproduces
+exact FIFO (``seq``) order for same-time events.
+"""
 
 from __future__ import annotations
 
-import heapq
+import sys
 import typing
+from collections import deque
 from collections.abc import Generator
+from heapq import heappop, heappush
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, Timeout
+from repro.sim.events import _PROCESSED, Event, Timeout
 from repro.sim.process import Process
+
+#: CPython's refcount probe gates free-list reuse: a pooled object is
+#: recycled only when the pool held the last reference.  On runtimes
+#: without refcounts the pools stay cold and every object is fresh.
+_getrefcount = getattr(sys, "getrefcount", None) or (lambda obj: -1)
+
+#: Free lists never grow beyond this many parked objects.
+_POOL_LIMIT = 512
 
 
 class Engine:
     """Discrete-event simulation engine.
 
-    Maintains the virtual clock and the pending-event heap.  Create one per
-    experiment; all simulation objects (devices, links, processes) hold a
-    reference to it.
+    Maintains the virtual clock and the pending-event queues.  Create one
+    per experiment; all simulation objects (devices, links, processes)
+    hold a reference to it.
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_active_processes")
+    __slots__ = (
+        "_now", "_heap", "_ring", "_seq", "_events",
+        "_timeout_pool", "_request_pool", "_active_processes",
+    )
 
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
+        self._ring: deque[Event] = deque()
         self._seq = 0
+        self._events = 0
+        self._timeout_pool: list[Timeout] = []
+        self._request_pool: list[Event] = []
         self._active_processes = 0
 
     # ------------------------------------------------------------------
@@ -33,12 +71,25 @@ class Engine:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def events_processed(self) -> int:
+        """Total events this engine has dispatched so far."""
+        return self._events
+
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Enqueue a triggered event to be processed after ``delay``."""
-        if delay < 0:
+        if delay == 0.0:
+            self._ring.append(event)
+        elif delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        else:
+            now = self._now
+            time = now + delay
+            if time <= now:
+                self._ring.append(event)
+            else:
+                self._seq += 1
+                heappush(self._heap, (time, self._seq, event))
 
     # ------------------------------------------------------------------
     def event(self) -> Event:
@@ -46,7 +97,37 @@ class Engine:
         return Event(self)
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
-        """An event that fires ``delay`` seconds from now."""
+        """An event that fires ``delay`` seconds from now.
+
+        Recycles processed timeouts from a free list when nothing else
+        still references them, so steady-state simulation loops allocate
+        no timeout objects at all.
+        """
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            # Reusable only if the pool held the last reference: the local
+            # binding plus getrefcount's argument make exactly two.
+            if _getrefcount(timeout) == 2:
+                if delay < 0:
+                    pool.append(timeout)
+                    raise SimulationError(f"negative timeout delay: {delay}")
+                timeout.callbacks = None
+                timeout._value = value
+                timeout._ok = True
+                timeout._scheduled = True
+                timeout.delay = delay
+                if delay == 0.0:
+                    self._ring.append(timeout)
+                else:
+                    now = self._now
+                    time = now + delay
+                    if time <= now:
+                        self._ring.append(timeout)
+                    else:
+                        self._seq += 1
+                        heappush(self._heap, (time, self._seq, timeout))
+                return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator[Event, object, object]) -> Process:
@@ -56,60 +137,133 @@ class Engine:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        heap = self._heap
+        ring = self._ring
+        now = self._now
+        if heap and heap[0][0] <= now:
+            event = heappop(heap)[2]
+        elif ring:
+            event = ring.popleft()
+        elif heap:
+            time, _, event = heappop(heap)
+            self._now = time
+        else:
             raise SimulationError("no more events to process")
-        time, _, event = heapq.heappop(self._heap)
-        self._now = time
-        # Inline Event._process: the heap pop/dispatch pair runs for every
-        # single event of a simulation, so one avoided call matters.
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        self._events += 1
+        event._process()
 
     def run(self, until: float | Event | None = None) -> object:
         """Run the simulation.
 
-        - ``until is None``: run until the event heap is exhausted.
+        - ``until is None``: run until both event queues are exhausted.
         - ``until`` is a number: run until virtual time reaches it.
         - ``until`` is an :class:`Event` (e.g. a :class:`Process`): run until
           that event fires, then return its value (re-raising a failure).
+
+        The dispatch body is inlined into each branch: the pop/dispatch
+        pair runs once per event of the whole simulation, so per-event
+        call and attribute overhead is the kernel's price floor.
         """
         heap = self._heap
-        heappop = heapq.heappop
+        ring = self._ring
+        ring_popleft = ring.popleft
+        tpool = self._timeout_pool
+        tpool_append = tpool.append
+        n = 0
         if isinstance(until, Event):
             stop_event = until
-            while stop_event.callbacks is not None:
-                if not heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited event "
-                        "fired (deadlock: a process is waiting on an event "
-                        "nothing will trigger)"
-                    )
-                time, _, event = heappop(heap)
-                self._now = time
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
+            # ``now`` mirrors self._now as a local: nothing inside the
+            # loop advances the clock except the heap branch below.
+            now = self._now
+            try:
+                while stop_event.callbacks is not _PROCESSED:
+                    # Heap entries at the current instant always precede
+                    # ring entries in schedule order (module docstring).
+                    if heap and heap[0][0] <= now:
+                        event = heappop(heap)[2]
+                    elif ring:
+                        event = ring_popleft()
+                    elif heap:
+                        time, _, event = heappop(heap)
+                        self._now = now = time
+                    else:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited "
+                            "event fired (deadlock: a process is waiting on an "
+                            "event nothing will trigger)"
+                        )
+                    n += 1
+                    callbacks = event.callbacks
+                    event.callbacks = _PROCESSED
+                    if callbacks.__class__ is list:
+                        for callback in callbacks:
+                            callback(event)
+                    elif callbacks is not None:
+                        callbacks(event)
+                    if event.__class__ is Timeout and len(tpool) < _POOL_LIMIT:
+                        tpool_append(event)
+            finally:
+                self._events += n
             if not stop_event.ok:
                 value = stop_event.value
                 assert isinstance(value, BaseException)
                 raise value
             return stop_event.value
         if until is None:
-            while heap:
-                time, _, event = heappop(heap)
-                self._now = time
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
+            now = self._now
+            try:
+                while True:
+                    if heap and heap[0][0] <= now:
+                        event = heappop(heap)[2]
+                    elif ring:
+                        event = ring_popleft()
+                    elif heap:
+                        time, _, event = heappop(heap)
+                        self._now = now = time
+                    else:
+                        break
+                    n += 1
+                    callbacks = event.callbacks
+                    event.callbacks = _PROCESSED
+                    if callbacks.__class__ is list:
+                        for callback in callbacks:
+                            callback(event)
+                    elif callbacks is not None:
+                        callbacks(event)
+                    if event.__class__ is Timeout and len(tpool) < _POOL_LIMIT:
+                        tpool_append(event)
+            finally:
+                self._events += n
             return None
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(
                 f"until={horizon} is in the past (now={self._now})"
             )
-        while heap and heap[0][0] <= horizon:
-            self.step()
+        now = self._now
+        try:
+            while True:
+                if heap and heap[0][0] <= now:
+                    event = heappop(heap)[2]
+                elif ring:
+                    event = ring_popleft()
+                elif heap and heap[0][0] <= horizon:
+                    time, _, event = heappop(heap)
+                    self._now = now = time
+                else:
+                    break
+                n += 1
+                callbacks = event.callbacks
+                event.callbacks = _PROCESSED
+                if callbacks.__class__ is list:
+                    for callback in callbacks:
+                        callback(event)
+                elif callbacks is not None:
+                    callbacks(event)
+                if event.__class__ is Timeout and len(tpool) < _POOL_LIMIT:
+                    tpool_append(event)
+        finally:
+            self._events += n
         self._now = max(self._now, horizon)
         return None
 

@@ -1,4 +1,21 @@
-"""Event primitives for the simulation kernel."""
+"""Event primitives for the simulation kernel.
+
+Hot-path design notes (see docs/INTERNALS.md, "Event kernel"):
+
+- ``Event.callbacks`` is *polymorphic* to avoid materializing a list for
+  the overwhelmingly common one-waiter event:
+
+  * ``None``        — pending, no callbacks registered yet
+  * a callable      — pending, exactly one callback
+  * a ``list``      — pending, two or more callbacks in registration order
+  * ``_PROCESSED``  — the event fired and its callbacks have run
+
+- Triggering with ``delay == 0`` (or a delay too small to advance the
+  float clock) appends the event to the engine's *now ring* instead of
+  the heap: no sequence number, no entry tuple, no heap sift.  The ring
+  is FIFO, which is exactly the schedule-order tie-break the heap's
+  ``seq`` field exists to provide.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +28,9 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
 
 _PENDING = object()
+
+#: Sentinel stored in ``Event.callbacks`` once the event has been processed.
+_PROCESSED = object()
 
 
 class Event:
@@ -25,7 +45,7 @@ class Event:
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
-        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self.callbacks: object = None
         self._value: object = _PENDING
         self._ok = True
         self._scheduled = False
@@ -39,7 +59,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self.callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -58,14 +78,25 @@ class Event:
         """Schedule this event to trigger with ``value`` after ``delay``."""
         if self._scheduled:
             raise SimulationError(f"{self!r} has already been triggered")
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._value = value
-        self._ok = True
-        self._scheduled = True
         engine = self.engine
-        engine._seq += 1
-        heappush(engine._heap, (engine._now + delay, engine._seq, self))
+        if delay == 0.0:
+            self._value = value
+            self._ok = True
+            self._scheduled = True
+            engine._ring.append(self)
+        elif delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        else:
+            self._value = value
+            self._ok = True
+            self._scheduled = True
+            now = engine._now
+            time = now + delay
+            if time <= now:  # delay too small to advance the float clock
+                engine._ring.append(self)
+            else:
+                engine._seq += 1
+                heappush(engine._heap, (time, engine._seq, self))
         return self
 
     def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
@@ -74,29 +105,50 @@ class Event:
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         if self._scheduled:
             raise SimulationError(f"{self!r} has already been triggered")
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._value = exception
-        self._ok = False
-        self._scheduled = True
         engine = self.engine
-        engine._seq += 1
-        heappush(engine._heap, (engine._now + delay, engine._seq, self))
+        if delay == 0.0:
+            self._value = exception
+            self._ok = False
+            self._scheduled = True
+            engine._ring.append(self)
+        elif delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        else:
+            self._value = exception
+            self._ok = False
+            self._scheduled = True
+            now = engine._now
+            time = now + delay
+            if time <= now:
+                engine._ring.append(self)
+            else:
+                engine._seq += 1
+                heappush(engine._heap, (time, engine._seq, self))
         return self
 
-    # Called by the engine when the event fires.
+    # Called when the event fires outside the engine's inlined dispatch.
     def _process(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        self.callbacks = _PROCESSED
+        if callbacks is None:
+            return
+        if callbacks.__class__ is list:
+            for callback in callbacks:
+                callback(self)
+        else:
+            callbacks(self)
 
     def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` when the event fires (immediately if done)."""
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = callback
+        elif callbacks is _PROCESSED:
             callback(self)
+        elif callbacks.__class__ is list:
+            callbacks.append(callback)
         else:
-            self.callbacks.append(callback)
+            self.callbacks = [callbacks, callback]
 
     def __repr__(self) -> str:
         state = "processed" if self.processed else (
@@ -115,15 +167,25 @@ class Timeout(Event):
             raise SimulationError(f"negative timeout delay: {delay}")
         # Timeouts are the hottest event type (every device access, FUSE
         # crossing, and compute step creates one): construct pre-triggered
-        # in one go instead of going through __init__ + succeed().
+        # in one go instead of going through __init__ + succeed().  Prefer
+        # ``engine.timeout()``, which additionally recycles processed
+        # timeouts from a free list.
         self.engine = engine
-        self.callbacks = []
+        self.callbacks = None
         self._value = value
         self._ok = True
         self._scheduled = True
         self.delay = delay
-        engine._seq += 1
-        heappush(engine._heap, (engine._now + delay, engine._seq, self))
+        if delay == 0.0:
+            engine._ring.append(self)
+        else:
+            now = engine._now
+            time = now + delay
+            if time <= now:
+                engine._ring.append(self)
+            else:
+                engine._seq += 1
+                heappush(engine._heap, (time, engine._seq, self))
 
 
 class Interrupt(Exception):

@@ -4,20 +4,30 @@ Devices, network links, and CPU cores are modelled as resources: a request
 is granted when a slot frees up, in arrival order.  Service time is imposed
 by the holder (request -> timeout -> release), for which :meth:`Resource.use`
 provides the common pattern.
+
+Grant events ride the engine's zero-delay now ring: a grant always fires
+at the instant of the request or release that produced it, so it never
+needs the heap.  Released requests are parked on an engine-wide free list
+and recycled (refcount-gated) by later requests, making the steady-state
+request/release cycle allocation-free.
 """
 
 from __future__ import annotations
 
+import sys
 import typing
 from collections import deque
 from collections.abc import Generator
-from heapq import heappush
 
 from repro.errors import SimulationError
-from repro.sim.events import _PENDING, Event
+from repro.sim.events import _PENDING, _PROCESSED, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
+
+_getrefcount = getattr(sys, "getrefcount", None) or (lambda obj: -1)
+
+_POOL_LIMIT = 512
 
 
 class Request(Event):
@@ -29,7 +39,7 @@ class Request(Event):
         # Requests are created for every device/NIC access: initialize the
         # Event slots in place rather than through super().__init__.
         self.engine = resource.engine
-        self.callbacks = []
+        self.callbacks = None
         self._value = _PENDING
         self._ok = True
         self._scheduled = False
@@ -84,21 +94,34 @@ class Resource:
     # ------------------------------------------------------------------
     def request(self) -> Request:
         """Claim a slot; the returned event fires when the claim is granted."""
-        req = Request(self)
+        engine = self.engine
+        pool = engine._request_pool
+        req: Request | None = None
+        if pool:
+            candidate = pool.pop()
+            # Recycle only if the pool held the last reference (the local
+            # binding plus getrefcount's argument make exactly two).
+            if _getrefcount(candidate) == 2:
+                req = candidate
+                req.callbacks = None
+                req._value = _PENDING
+                req._ok = True
+                req._scheduled = False
+                req.resource = self
+        if req is None:
+            req = Request(self)
         users = self._users
         if len(users) < self.capacity:
-            engine = self.engine
             now = engine._now
             self._busy_time += self._last_users * (now - self._last_change)
             self._last_change = now
             users.add(req)
-            self._last_users = len(users)
+            self._last_users += 1
             # Inline Event.succeed without its already-triggered/delay
             # checks: a freshly built Request cannot have fired yet.
             req._value = req
             req._scheduled = True
-            engine._seq += 1
-            heappush(engine._heap, (now, engine._seq, req))
+            engine._ring.append(req)
         else:
             self._queue.append(req)
         return req
@@ -106,21 +129,36 @@ class Resource:
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
         users = self._users
-        if request not in users:
+        try:
+            users.remove(request)
+        except KeyError:
             raise SimulationError(
                 f"release of a request that does not hold {self.name or 'resource'}"
-            )
-        now = self.engine._now
+            ) from None
+        engine = self.engine
+        now = engine._now
         self._busy_time += self._last_users * (now - self._last_change)
         self._last_change = now
-        users.remove(request)
         queue = self._queue
-        capacity = self.capacity
-        while queue and len(users) < capacity:
-            nxt = queue.popleft()
-            users.add(nxt)
-            nxt.succeed(nxt)
-        self._last_users = len(users)
+        if queue:
+            capacity = self.capacity
+            ring_append = engine._ring.append
+            while queue and len(users) < capacity:
+                nxt = queue.popleft()
+                users.add(nxt)
+                # Inline succeed: a still-queued request cannot have fired.
+                nxt._value = nxt
+                nxt._scheduled = True
+                ring_append(nxt)
+            self._last_users = len(users)
+        else:
+            self._last_users -= 1
+        # Park the released request for reuse.  Only once its grant has
+        # been dispatched: a request released before its grant left the
+        # ring (cancel of an unawaited grant) must keep its identity.
+        pool = engine._request_pool
+        if request.callbacks is _PROCESSED and len(pool) < _POOL_LIMIT:
+            pool.append(request)
 
     def cancel(self, request: Request) -> None:
         """Withdraw a request: releases it if granted, dequeues it if not."""
@@ -143,8 +181,13 @@ class Resource:
         try:
             yield req
             yield self.engine.timeout(duration)
-        finally:
+        except BaseException:
             self.cancel(req)
+            raise
+        else:
+            # Happy path: the grant fired, so the slot is held — release
+            # directly instead of re-deriving that through cancel().
+            self.release(req)
 
     def __repr__(self) -> str:
         return (

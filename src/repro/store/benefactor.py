@@ -195,11 +195,15 @@ class Benefactor:
                 f"{self.name}: read [{offset}, {offset + length}) outside "
                 f"chunk of {self.chunk_size}"
             )
-        if chunk_id in self._data:
+        stored = self._data.get(chunk_id)
+        if stored is not None:
             yield from self.ssd.read_extent(self._extent_of(chunk_id) + offset, length)
             # One copy into a fresh buffer the receiver owns outright —
             # the chunk cache adopts it instead of copying again.
-            data = bytearray(memoryview(self._data[chunk_id])[offset : offset + length])
+            if offset == 0 and length == len(stored):
+                data = bytearray(stored)
+            else:
+                data = bytearray(memoryview(stored)[offset : offset + length])
         else:
             data = bytearray(length)  # reserved-but-unwritten: zeroes, no device read
         yield from self.node.network.transfer(self.name, client, len(data))

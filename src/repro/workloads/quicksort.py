@@ -206,10 +206,18 @@ def _exchange(
             1, int(np.log2(max(size, 2)))
         ))
         dest = np.searchsorted(splitters, block, side="right")
+        # One stable argsort groups the block by destination rank; each
+        # bucket gets a view into ``grouped`` holding exactly the
+        # elements (in exactly the order) that per-rank boolean masks
+        # would have copied out — one materialized array instead of
+        # ``size`` fancy-index copies per block.
+        order = np.argsort(dest, kind="stable")
+        grouped = block[order]
+        bounds = np.searchsorted(dest[order], np.arange(size + 1))
         for r in range(size):
-            piece = block[dest == r]
-            if len(piece):
-                buckets[r].append(piece)
+            lo, hi = bounds[r], bounds[r + 1]
+            if hi > lo:
+                buckets[r].append(grouped[lo:hi])
     fragments: list[np.ndarray] = []
     mine = (
         np.concatenate(buckets[ctx.rank]) if buckets[ctx.rank]

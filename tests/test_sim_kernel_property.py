@@ -1,0 +1,183 @@
+"""Property tests pinning the kernel's observable event ordering.
+
+The engine splits scheduling between a time-ordered heap and a zero-delay
+"now ring" (see ``repro/sim/engine.py``).  The observable contract is that
+this split is invisible: events fire exactly as if every schedule had
+pushed a ``(time, seq)`` entry onto one global heap, with ``seq`` assigned
+in schedule order — i.e. same-time events fire FIFO in schedule order.
+
+These tests drive randomized schedules through the real kernel and through
+a deliberately naive heapq-only reference kernel written here, and require
+bit-identical firing orders, times, and process values.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+# Lots of duplicates and zeros on purpose: ties and zero-delay chains are
+# exactly where the ring/heap split could diverge from the reference.
+DELAY_POOL = [0.0, 0.0, 0.0, 0.25, 0.25, 0.5, 1.0, 1.0, 1.5, 3.0]
+
+
+def _random_graph(rng: random.Random, n_events: int):
+    """A random event DAG: event i, when fired, schedules its children.
+
+    Returns (roots, children, failed) where roots is a list of
+    (delay, event_id) scheduled up front, children[i] is a list of
+    (delay, child_id) scheduled from i's callback, and failed is the set
+    of events triggered through fail() instead of succeed().
+    """
+    children: list[list[tuple[float, int]]] = [[] for _ in range(n_events)]
+    n_roots = max(1, n_events // 8)
+    for i in range(n_roots, n_events):
+        parent = rng.randrange(i)  # parents precede children: acyclic
+        children[parent].append((rng.choice(DELAY_POOL), i))
+    roots = [(rng.choice(DELAY_POOL), i) for i in range(n_roots)]
+    failed = {i for i in range(n_events) if rng.random() < 0.15}
+    return roots, children, failed
+
+
+def _reference_order(roots, children):
+    """Naive kernel: one heap, one global seq, nothing else."""
+    heap: list[tuple[float, int, int]] = []
+    seq = 0
+    now = 0.0
+    trace: list[tuple[float, int]] = []
+
+    def schedule(event_id: int, delay: float) -> None:
+        nonlocal seq
+        seq += 1
+        heapq.heappush(heap, (now + delay, seq, event_id))
+
+    for delay, event_id in roots:
+        schedule(event_id, delay)
+    while heap:
+        time, _, event_id = heapq.heappop(heap)
+        now = time
+        trace.append((now, event_id))
+        for delay, child in children[event_id]:
+            schedule(child, delay)
+    return trace
+
+
+def _engine_order(roots, children, failed):
+    """The same graph through the real ring+heap kernel."""
+    engine = Engine()
+    trace: list[tuple[float, int]] = []
+
+    def schedule(event_id: int, delay: float) -> None:
+        event = Event(engine)
+        event.add_callback(lambda _ev, eid=event_id: fire(eid))
+        if event_id in failed:
+            event.fail(RuntimeError(f"event {event_id}"), delay=delay)
+        else:
+            event.succeed(event_id, delay=delay)
+
+    def fire(event_id: int) -> None:
+        trace.append((engine.now, event_id))
+        for delay, child in children[event_id]:
+            schedule(child, delay)
+
+    for delay, event_id in roots:
+        schedule(event_id, delay)
+    engine.run()
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_event_graph_order_matches_reference(seed: int) -> None:
+    rng = random.Random(seed)
+    roots, children, failed = _random_graph(rng, n_events=200 + seed * 37)
+    expected = _reference_order(roots, children)
+    actual = _engine_order(roots, children, failed)
+    assert actual == expected
+
+
+def _reference_process_run(scripts):
+    """Reference for N concurrent timeout-looping processes.
+
+    Process p is born as a zero-delay bootstrap (in creation order, like
+    Engine.process), then schedules its next timeout the instant it
+    resumes — one heap entry alive per process, global seq in schedule
+    order.
+    """
+    heap: list[tuple[float, int, int, int]] = []
+    seq = 0
+    now = 0.0
+    trace: list[tuple[float, int, int]] = []
+
+    def schedule(pid: int, step: int, delay: float) -> None:
+        nonlocal seq
+        seq += 1
+        heapq.heappush(heap, (now + delay, seq, pid, step))
+
+    for pid in range(len(scripts)):
+        schedule(pid, -1, 0.0)  # bootstrap resume
+    while heap:
+        time, _, pid, step = heapq.heappop(heap)
+        now = time
+        trace.append((now, pid, step))
+        nxt = step + 1
+        if nxt < len(scripts[pid]):
+            schedule(pid, nxt, scripts[pid][nxt])
+    values = [sum(range(len(script))) for script in scripts]
+    return trace, values
+
+
+def _engine_process_run(scripts):
+    engine = Engine()
+    trace: list[tuple[float, int, int]] = []
+
+    def proc(pid: int):
+        trace.append((engine.now, pid, -1))
+        total = 0
+        for step, delay in enumerate(scripts[pid]):
+            value = yield engine.timeout(delay, value=step)
+            total += value
+            trace.append((engine.now, pid, step))
+        return total
+
+    processes = [engine.process(proc(pid)) for pid in range(len(scripts))]
+    engine.run()
+    return trace, [p.value for p in processes]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_process_timing_and_values_match_reference(seed: int) -> None:
+    rng = random.Random(1000 + seed)
+    scripts = [
+        [rng.choice(DELAY_POOL) for _ in range(rng.randrange(5, 40))]
+        for _ in range(rng.randrange(2, 12))
+    ]
+    expected_trace, expected_values = _reference_process_run(scripts)
+    actual_trace, actual_values = _engine_process_run(scripts)
+    assert actual_trace == expected_trace
+    assert actual_values == expected_values
+
+
+def test_tiny_delay_rounds_onto_the_ring_in_seq_order() -> None:
+    """A delay too small to advance the float clock fires at ``now`` —
+    after heap entries already at ``now``, in schedule order, exactly as
+    a (now, seq) heap entry would have."""
+    engine = Engine()
+    order: list[str] = []
+
+    def driver():
+        yield engine.timeout(1.0)
+        # 1.0 + 1e-18 == 1.0 in binary64: the positive delay cannot
+        # advance the clock, so the timeout must fall back to the ring.
+        early = engine.timeout(1e-18)
+        early.add_callback(lambda _e: order.append("tiny"))
+        late = engine.timeout(0.0)
+        late.add_callback(lambda _e: order.append("zero"))
+        yield engine.timeout(0.5)
+
+    engine.run(engine.process(driver()))
+    assert order == ["tiny", "zero"]

@@ -1,0 +1,141 @@
+"""Tests for the engine's Timeout free list (see Engine.timeout).
+
+Processed timeouts are parked on ``Engine._timeout_pool`` and recycled on
+the next ``timeout()`` call — but only when the pool holds the *last*
+reference (``sys.getrefcount == 2`` gate), so a timeout someone still
+holds can never be mutated behind their back.  These tests pin both
+halves: reuse actually happens, and reuse never leaks stale state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_pool_reuse_is_real_and_value_fresh() -> None:
+    """A dropped, processed timeout is recycled (same object identity)
+    and carries only the new value."""
+    engine = Engine()
+
+    def proc():
+        t1 = engine.timeout(1.0, value="a")
+        i1 = id(t1)
+        assert (yield t1) == "a"
+        del t1  # the pool now holds the only reference
+        # t1 is parked *after* its dispatch completes, which is after
+        # this resume — so t2 cannot be t1's recycling yet.
+        t2 = engine.timeout(1.0, value="b")
+        assert (yield t2) == "b"
+        del t2
+        # By now t1 sits in the pool (LIFO below t2's later parking):
+        # this allocation must recycle it, with the fresh value only.
+        t3 = engine.timeout(1.0, value="c")
+        assert id(t3) == i1
+        assert t3.value == "c"
+        assert (yield t3) == "c"
+        return "done"
+
+    assert engine.run(engine.process(proc())) == "done"
+    assert engine._timeout_pool  # parked for the next run
+
+
+def test_held_timeouts_keep_stable_values_across_reuse() -> None:
+    """Holding a reference blocks recycling: the refcount gate must skip
+    held timeouts, so their value/ok never change underneath the holder."""
+    engine = Engine()
+    held = []
+
+    def proc():
+        for i in range(50):
+            t = engine.timeout(0.5, value=("token", i))
+            assert (yield t) == ("token", i)
+            if i % 3 == 0:
+                held.append((t, ("token", i)))
+
+    engine.run(engine.process(proc()))
+    for timeout, token in held:
+        assert timeout.value == token
+        assert timeout.ok
+
+
+def test_recycled_timeout_never_runs_stale_callbacks() -> None:
+    """Callbacks registered on a recycled timeout's previous life must not
+    fire again on its next life."""
+    engine = Engine()
+    fired: list[str] = []
+
+    def proc():
+        t1 = engine.timeout(1.0)
+        t1.add_callback(lambda _e: fired.append("extra"))
+        yield t1
+        del t1
+        yield engine.timeout(1.0)  # parks t1
+        for _ in range(5):  # recycles t1 (and successors) repeatedly
+            yield engine.timeout(1.0)
+
+    engine.run(engine.process(proc()))
+    assert fired == ["extra"]
+
+
+def test_negative_delay_on_pooled_path_raises_and_keeps_pool_sane() -> None:
+    engine = Engine()
+
+    def proc():
+        yield engine.timeout(1.0)  # populate the pool after dispatch
+        yield engine.timeout(1.0)
+
+    engine.run(engine.process(proc()))
+    assert engine._timeout_pool
+    size = len(engine._timeout_pool)
+    for _ in range(3):
+        try:
+            engine.timeout(-1.0)
+        except SimulationError:
+            pass
+        else:  # pragma: no cover - the raise is the contract
+            raise AssertionError("negative delay must raise")
+    # The candidate it popped went back; nothing leaked or duplicated.
+    assert len(engine._timeout_pool) == size
+
+
+# One step: (delay, hold?) — zero delays exercise the ring path, ties
+# exercise same-instant interleaving of many processes' timeouts.
+_step = st.tuples(st.sampled_from([0.0, 0.0, 0.25, 0.5, 1.0]), st.booleans())
+
+
+@settings(max_examples=30, deadline=None)
+@given(scripts=st.lists(
+    st.lists(_step, min_size=1, max_size=25), min_size=1, max_size=6,
+))
+def test_timeout_pool_fuzz_never_leaks(scripts) -> None:
+    """Concurrent processes churning pooled timeouts: every received
+    value is the one scheduled, and held timeouts stay frozen."""
+    engine = Engine()
+    held = []
+
+    def proc(pid: int, script):
+        for step, (delay, hold) in enumerate(script):
+            token = (pid, step)
+            t = engine.timeout(delay, value=token)
+            # A stale-value leak (recycling a timeout someone else's
+            # schedule still owns) would surface right here.
+            assert (yield t) == token
+            if hold:
+                held.append((t, token))
+
+    processes = [
+        engine.process(proc(pid, script))
+        for pid, script in enumerate(scripts)
+    ]
+    engine.run()
+    assert all(p.processed for p in processes)
+    for timeout, token in held:
+        assert timeout.value == token
+    total = sum(len(script) for script in scripts)
+    if total - len(held) > 4:
+        # Enough unheld churn guarantees the free list actually engaged.
+        assert engine._timeout_pool

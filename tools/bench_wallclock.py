@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -35,7 +36,12 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 
 from repro.experiments.configs import SMALL, TINY, ExperimentScale  # noqa: E402
 from repro.experiments.runner import Testbed  # noqa: E402
+from repro.workloads.checkpoint_wl import (  # noqa: E402
+    CheckpointWorkloadConfig,
+    run_checkpoint_workload,
+)
 from repro.workloads.matmul import MatmulConfig, run_matmul  # noqa: E402
+from repro.workloads.quicksort import SortConfig, run_quicksort  # noqa: E402
 from repro.workloads.randwrite import RandWriteConfig, run_randwrite  # noqa: E402
 from repro.workloads.stream import StreamConfig, StreamKernel, run_stream  # noqa: E402
 
@@ -51,6 +57,22 @@ def _counters(metrics) -> dict[str, float]:
     for prefix in COUNTER_PREFIXES:
         snap.update(metrics.snapshot(prefix))
     return snap
+
+
+def _finish(testbed: Testbed, start: float, virtual: float, verified: bool) -> dict[str, object]:
+    """Assemble one workload outcome, including kernel throughput stats."""
+    wall = time.perf_counter() - start
+    events = getattr(testbed.engine, "events_processed", None)
+    outcome: dict[str, object] = {
+        "wall_seconds": wall,
+        "virtual_seconds": virtual,
+        "verified": verified,
+        "counters": _counters(testbed.cluster.metrics),
+    }
+    if events is not None:
+        outcome["events_processed"] = events
+        outcome["events_per_second"] = events / wall if wall > 0 else 0.0
+    return outcome
 
 
 def bench_stream_triad(scale: ExperimentScale) -> dict[str, object]:
@@ -71,13 +93,7 @@ def bench_stream_triad(scale: ExperimentScale) -> dict[str, object]:
             block_bytes=scale.stream_block,
         ),
     )
-    wall = time.perf_counter() - start
-    return {
-        "wall_seconds": wall,
-        "virtual_seconds": result.elapsed,
-        "verified": result.verified,
-        "counters": _counters(testbed.cluster.metrics),
-    }
+    return _finish(testbed, start, result.elapsed, result.verified)
 
 
 def bench_mm_fig3(scale: ExperimentScale) -> dict[str, object]:
@@ -96,13 +112,7 @@ def bench_mm_fig3(scale: ExperimentScale) -> dict[str, object]:
             access_order="row",
         ),
     )
-    wall = time.perf_counter() - start
-    return {
-        "wall_seconds": wall,
-        "virtual_seconds": result.total,
-        "verified": result.verified,
-        "counters": _counters(testbed.cluster.metrics),
-    }
+    return _finish(testbed, start, result.total, result.verified)
 
 
 def bench_randwrite(scale: ExperimentScale) -> dict[str, object]:
@@ -117,19 +127,53 @@ def bench_randwrite(scale: ExperimentScale) -> dict[str, object]:
             num_writes=scale.randwrite_count,
         ),
     )
-    wall = time.perf_counter() - start
-    return {
-        "wall_seconds": wall,
-        "virtual_seconds": result.elapsed,
-        "verified": result.verified,
-        "counters": _counters(testbed.cluster.metrics),
-    }
+    return _finish(testbed, start, result.elapsed, result.verified)
+
+
+def bench_quicksort_table6(scale: ExperimentScale) -> dict[str, object]:
+    """Table VI's one-pass hybrid sort on L-SSD(8:16:16).
+
+    Sorting interleaves short compute bursts with fine-grained NVM and
+    PFS traffic across 128 ranks, so it stresses the event kernel's
+    grant/handoff chains far more than the streaming workloads do.
+    """
+    testbed = Testbed(scale.with_(cpu_slowdown=1.0))
+    job = testbed.job(8, 16, 16)
+    start = time.perf_counter()
+    result = run_quicksort(
+        job,
+        testbed.pfs,
+        SortConfig(
+            total_elements=scale.sort_elements,
+            mode="hybrid",
+            dram_elements_per_rank=scale.sort_dram_per_rank,
+        ),
+    )
+    return _finish(testbed, start, result.elapsed, result.verified)
+
+
+def bench_checkpoint(scale: ExperimentScale) -> dict[str, object]:
+    """§III-E checkpoint loop: linked chunks, COW, bit-exact restores."""
+    testbed = Testbed(scale)
+    job = testbed.job(1, 1, 1)
+    start = time.perf_counter()
+    result = run_checkpoint_workload(
+        job,
+        CheckpointWorkloadConfig(
+            variable_bytes=scale.checkpoint_variable,
+            dram_state_bytes=scale.checkpoint_dram_state,
+            timesteps=8,
+        ),
+    )
+    return _finish(testbed, start, result.elapsed, result.restores_verified)
 
 
 WORKLOADS = {
     "stream_triad_nvm": bench_stream_triad,
     "mm_fig3_lssd_8_16_16": bench_mm_fig3,
     "randwrite_table7": bench_randwrite,
+    "quicksort_table6_hybrid": bench_quicksort_table6,
+    "checkpoint_linked": bench_checkpoint,
 }
 
 
@@ -227,16 +271,28 @@ def main(argv: list[str] | None = None) -> int:
         "scale": scale.name,
         "workloads": results,
     }
+    speedups = [o["speedup"] for o in results.values() if "speedup" in o]
+    if speedups:
+        report["geomean_speedup"] = math.exp(
+            sum(math.log(s) for s in speedups) / len(speedups)
+        )
     Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     for name, outcome in results.items():
         line = f"{name}: {outcome['wall_seconds']:.2f}s wall"
+        if "events_per_second" in outcome:
+            line += (
+                f", {outcome['events_processed']} events "
+                f"({outcome['events_per_second'] / 1e6:.2f}M/s)"
+            )
         if "speedup" in outcome:
             line += (
                 f" ({outcome['speedup']:.2f}x vs baseline, virtual "
                 f"{'identical' if outcome['virtual_identical'] else 'DRIFTED'})"
             )
         print(line)
+    if "geomean_speedup" in report:
+        print(f"geomean speedup vs baseline: {report['geomean_speedup']:.3f}x")
     print(f"wrote {args.output}")
     if not identical:
         print("FAIL: virtual results drifted from the baseline", file=sys.stderr)

@@ -1,0 +1,87 @@
+"""cProfile the benchmark workloads through the full memory stack.
+
+Runs the same workload drivers as ``tools/bench_wallclock.py`` under
+``cProfile`` and prints the hottest functions, so kernel/page-cache work
+can be aimed at the frames that actually dominate.  Two caveats when
+reading the output:
+
+- cProfile's tracing overhead inflates cheap, frequently-called frames
+  by a large constant factor — compare *ratios* between runs, never the
+  absolute seconds, and confirm any win with the benchmark itself.
+- The profile says nothing about virtual time.  After optimizing, run
+  ``tools/bench_wallclock.py --baseline`` to prove virtual identity.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_stack.py                # all workloads
+    PYTHONPATH=src python tools/profile_stack.py \
+        --workloads randwrite_table7 --sort tottime --limit 40
+    make profile                                                # shortcut
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installing.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from bench_wallclock import WORKLOADS  # noqa: E402
+from repro.experiments.configs import SMALL, TINY  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--scale", choices=("small", "tiny"), default="small",
+        help="experiment scale (default: small, matching the benchmark)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", choices=sorted(WORKLOADS), default=None,
+        help="subset of workloads to profile (default: all)",
+    )
+    parser.add_argument(
+        "--sort", choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative", help="pstats sort key (default: cumulative)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=30,
+        help="rows of the stats table to print per workload (default: 30)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="also dump raw pstats data to OUTPUT.<workload> for snakeviz etc.",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SMALL if args.scale == "small" else TINY
+    names = args.workloads or list(WORKLOADS)
+    for name in names:
+        bench = WORKLOADS[name]
+        print(f"\n=== {name} (scale={args.scale}) ===")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        outcome = bench(scale)
+        profiler.disable()
+        if not outcome.get("verified", False):
+            print(f"WARNING: {name} failed payload verification", file=sys.stderr)
+        print(
+            f"wall {outcome['wall_seconds']:.2f}s (inflated by tracing)  "
+            f"virtual {outcome['virtual_seconds']:.4f}s  "
+            f"events {outcome.get('events_processed', 'n/a')}"
+        )
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort).print_stats(args.limit)
+        if args.output:
+            stats.dump_stats(f"{args.output}.{name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
