@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test bench bench-wallclock profile experiments examples clean
+.PHONY: install test bench bench-wallclock profile experiments experiments-par examples clean
 
 install:
 	pip install -e .
@@ -21,6 +21,10 @@ profile:
 
 experiments:
 	python -m repro.experiments
+
+# Fan the experiment matrix across every core, memoized in the result cache.
+experiments-par:
+	python -m repro.experiments --jobs $(shell nproc)
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

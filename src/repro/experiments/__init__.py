@@ -21,13 +21,19 @@ from repro.experiments.tables import (
 )
 from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
+from repro.experiments.parallel import Orchestrator, RunOutcome, check_identity
+from repro.experiments.resultcache import ResultCache
 
 __all__ = [
     "ExperimentReport",
     "ExperimentScale",
+    "Orchestrator",
+    "ResultCache",
+    "RunOutcome",
     "SMALL",
     "TINY",
     "Testbed",
+    "check_identity",
     "checkpoint_experiment",
     "cost_analysis",
     "explicit_vs_swap",

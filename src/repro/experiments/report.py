@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.util.tables import render_table
+
+#: Bump when the digest payload layout changes (invalidates result caches).
+REPORT_SCHEMA = 1
 
 
 @dataclass
@@ -19,6 +24,9 @@ class ExperimentReport:
     measured_claims: list[str] = field(default_factory=list)
     cache_lines: list[str] = field(default_factory=list)
     verified: bool = True
+    #: Aggregate byte-flow counters of every testbed the driver built,
+    #: filled in by the orchestrator (`repro.experiments.parallel`).
+    counters: dict[str, float] = field(default_factory=dict)
 
     def add_row(self, *cells: object) -> None:
         """Append one table row."""
@@ -54,6 +62,61 @@ class ExperimentReport:
                 f"{page.faulted_bytes / 2**20:.1f} MiB, wrote back "
                 f"{page.writeback_bytes / 2**20:.1f} MiB"
             )
+
+    def to_payload(self) -> dict[str, object]:
+        """A JSON-safe dict that round-trips through :meth:`from_payload`.
+
+        The payload is the canonical form: :meth:`digest` hashes it, and the
+        result cache persists it, so a cached report re-renders and re-digests
+        bit-identically to the run that produced it.
+        """
+        return {
+            "schema": REPORT_SCHEMA,
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "paper_claims": list(self.paper_claims),
+            "measured_claims": list(self.measured_claims),
+            "cache_lines": list(self.cache_lines),
+            "verified": self.verified,
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "ExperimentReport":
+        """Rebuild a report from :meth:`to_payload` output."""
+        if payload.get("schema") != REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported report schema {payload.get('schema')!r}"
+            )
+        return cls(
+            experiment=payload["experiment"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            paper_claims=list(payload["paper_claims"]),
+            measured_claims=list(payload["measured_claims"]),
+            cache_lines=list(payload["cache_lines"]),
+            verified=bool(payload["verified"]),
+            counters=dict(payload["counters"]),
+        )
+
+    def digest(self) -> str:
+        """Stable sha256 over rendered rows, claims, and byte-flow counters.
+
+        Two runs of the same experiment are *the same result* iff their
+        digests match; the result cache, the parallel-vs-serial identity
+        check, and ``tools/bench_wallclock.py`` matrix entries all compare
+        this value.  JSON canonicalization (sorted keys, no whitespace)
+        makes the hash independent of dict ordering, and Python's
+        float-repr round-trip guarantee keeps it exact across a
+        serialize/deserialize cycle.
+        """
+        blob = json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def render(self) -> str:
         """The report as an aligned monospace table plus claim lines."""

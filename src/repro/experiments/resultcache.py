@@ -1,0 +1,158 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every experiment run is deterministic given (a) the experiment name, (b)
+the :class:`~repro.experiments.configs.ExperimentScale` it runs at, and
+(c) the code of ``src/repro`` itself — drivers build fresh testbeds and
+share no state.  The cache therefore keys each result by a sha256 over
+exactly those inputs and stores the report's canonical payload plus its
+digest.  A hit re-renders bit-identically to the run that produced it; a
+change to any config knob, the scale, or any ``.py`` file under
+``src/repro`` changes the key and forces a recompute.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one entry per file, written
+atomically (tmp + rename) so concurrent workers and interrupted runs can
+never leave a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.report import ExperimentReport
+
+#: Bump when the entry layout changes; old entries become misses.
+CACHE_SCHEMA = 1
+
+#: Default cache directory (repo-/cwd-local so CI can key it into
+#: ``actions/cache``); override with ``--cache`` or ``REPRO_RESULT_CACHE``.
+DEFAULT_CACHE_DIR = ".repro_result_cache"
+
+
+def _sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def fingerprint_json(obj: object) -> str:
+    """sha256 of the canonical (sorted, compact) JSON form of ``obj``."""
+    return _sha256(
+        json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def scale_fingerprint(scale: ExperimentScale) -> str:
+    """Fingerprint of every knob of a scale — any change is a new key."""
+    return fingerprint_json(dataclasses.asdict(scale))
+
+
+_CODE_FP_CACHE: dict[str, str] = {}
+
+
+def code_fingerprint(root: str | Path | None = None, *, refresh: bool = False) -> str:
+    """sha256 over (relative path, content hash) of every ``.py`` under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory, i.e.
+    ``src/repro`` in a source checkout.  The walk is sorted so the result
+    is independent of filesystem order, and memoized per root per process
+    (an orchestrator run hashes the tree once, not once per experiment).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    key = str(root)
+    if not refresh and key in _CODE_FP_CACHE:
+        return _CODE_FP_CACHE[key]
+    entries: list[tuple[str, str]] = []
+    for path in sorted(root.rglob("*.py")):
+        entries.append(
+            (path.relative_to(root).as_posix(), _sha256(path.read_bytes()))
+        )
+    fingerprint = fingerprint_json(entries)
+    _CODE_FP_CACHE[key] = fingerprint
+    return fingerprint
+
+
+def result_key(name: str, scale: ExperimentScale, code_fp: str) -> str:
+    """The content address of one experiment run."""
+    return _sha256(
+        "\n".join(
+            [
+                f"schema={CACHE_SCHEMA}",
+                f"experiment={name}",
+                f"scale={scale.name}",
+                f"config={scale_fingerprint(scale)}",
+                f"code={code_fp}",
+            ]
+        ).encode("utf-8")
+    )
+
+
+class ResultCache:
+    """One directory of content-addressed experiment results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, object] | None:
+        """The entry at ``key``, or None if absent/corrupt/stale-schema.
+
+        A surviving entry is self-consistent: its stored digest matches a
+        digest recomputed from the stored report payload, so a hit cannot
+        silently hand back a result the current report code would render
+        differently.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != CACHE_SCHEMA or entry.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            report = ExperimentReport.from_payload(entry["report"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        if report.digest() != entry.get("digest"):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: str,
+        *,
+        experiment: str,
+        scale: str,
+        report: ExperimentReport,
+        telemetry: dict[str, object],
+    ) -> None:
+        """Persist one result atomically under ``key``."""
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "experiment": experiment,
+            "scale": scale,
+            "digest": report.digest(),
+            "report": report.to_payload(),
+            "telemetry": dict(telemetry),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)

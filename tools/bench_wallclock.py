@@ -13,20 +13,32 @@ Usage::
     PYTHONPATH=src python tools/bench_wallclock.py                  # current code
     PYTHONPATH=src python tools/bench_wallclock.py \
         --baseline benchmarks/BENCH_wallclock_seed.json             # vs seed
+    PYTHONPATH=src python tools/bench_wallclock.py --jobs 4         # fan workloads
+    PYTHONPATH=src python tools/bench_wallclock.py --matrix         # + experiment
+                                                                    #   matrix passes
 
 With ``--baseline`` the emitted JSON gains per-workload ``speedup`` and
 ``virtual_identical`` fields; the process exits non-zero if any virtual
 quantity drifted from the baseline (timing model regressions must never
 hide behind a wall-clock win).
+
+``--matrix`` additionally times the full experiment matrix three ways —
+serial, ``--matrix-jobs N`` parallel, warm result-cache — as
+``matrix_serial`` / ``matrix_jobs{N}`` / ``matrix_warm_cache`` entries,
+asserting all three produce bit-identical per-experiment digests.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import math
+import os
 import sys
+import tempfile
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 
 # Allow running from a source checkout without installing.
@@ -35,6 +47,12 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.experiments.configs import SMALL, TINY, ExperimentScale  # noqa: E402
+from repro.experiments.parallel import (  # noqa: E402
+    EXPERIMENTS,
+    Orchestrator,
+    mp_context,
+)
+from repro.experiments.resultcache import ResultCache  # noqa: E402
 from repro.experiments.runner import Testbed  # noqa: E402
 from repro.workloads.checkpoint_wl import (  # noqa: E402
     CheckpointWorkloadConfig,
@@ -177,27 +195,152 @@ WORKLOADS = {
 }
 
 
+def _bench_one(
+    name: str, scale: ExperimentScale, repeat: int
+) -> tuple[str, dict[str, object], list[float]]:
+    """Worker body: one workload, best of ``repeat`` attempts."""
+    driver = WORKLOADS[name]
+    best: dict[str, object] | None = None
+    walls: list[float] = []
+    for _ in range(repeat):
+        outcome = driver(scale)
+        walls.append(outcome["wall_seconds"])
+        if best is None or outcome["wall_seconds"] < best["wall_seconds"]:
+            best = outcome
+    assert best is not None
+    return name, best, walls
+
+
 def run_suite(
-    scale: ExperimentScale, names: list[str], repeat: int
+    scale: ExperimentScale, names: list[str], repeat: int, jobs: int = 1
 ) -> dict[str, dict[str, object]]:
-    """Run each workload ``repeat`` times; keep the fastest wall clock."""
+    """Run each workload ``repeat`` times; keep the fastest wall clock.
+
+    With ``jobs > 1`` the *workloads* fan across processes; each
+    workload's wall is still measured inside its own run (virtual results
+    and per-workload walls are untouched by the fan-out), so the geomean
+    stays a geomean of per-run walls.
+    """
     results: dict[str, dict[str, object]] = {}
-    for name in names:
-        driver = WORKLOADS[name]
-        best: dict[str, object] | None = None
-        for i in range(repeat):
-            outcome = driver(scale)
+    if jobs <= 1 or len(names) <= 1:
+        for name in names:
+            driver = WORKLOADS[name]
+            best: dict[str, object] | None = None
+            for i in range(repeat):
+                outcome = driver(scale)
+                print(
+                    f"  {name} [{i + 1}/{repeat}]: "
+                    f"{outcome['wall_seconds']:.2f}s wall, "
+                    f"{outcome['virtual_seconds']:.4f}s virtual",
+                    flush=True,
+                )
+                if best is None or outcome["wall_seconds"] < best["wall_seconds"]:
+                    best = outcome
+            assert best is not None
+            results[name] = best
+        return results
+
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(names)), mp_context=mp_context()
+    ) as pool:
+        futures = {
+            pool.submit(_bench_one, name, scale, repeat): name for name in names
+        }
+        for future in as_completed(futures):
+            name, best, walls = future.result()
             print(
-                f"  {name} [{i + 1}/{repeat}]: "
-                f"{outcome['wall_seconds']:.2f}s wall, "
-                f"{outcome['virtual_seconds']:.4f}s virtual",
+                f"  {name} [best of {len(walls)}]: "
+                f"{best['wall_seconds']:.2f}s wall, "
+                f"{best['virtual_seconds']:.4f}s virtual",
                 flush=True,
             )
-            if best is None or outcome["wall_seconds"] < best["wall_seconds"]:
-                best = outcome
-        assert best is not None
-        results[name] = best
-    return results
+            results[name] = best
+    return {name: results[name] for name in names}
+
+
+def _matrix_digest(digests: dict[str, str | None]) -> str:
+    """One sha256 summarizing every per-experiment digest of a matrix pass."""
+    blob = json.dumps(digests, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def bench_matrix(scale: ExperimentScale, jobs: int) -> dict[str, dict[str, object]]:
+    """Three passes over the full experiment matrix: serial, ``--jobs N``,
+    and warm-cache; returns ``matrix_serial`` / ``matrix_jobs{N}`` /
+    ``matrix_warm_cache`` entries with cross-pass digest identity."""
+    names = list(EXPERIMENTS)
+    entries: dict[str, dict[str, object]] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-matrix-cache-") as tmp:
+        cache = ResultCache(tmp)
+
+        print(f"  matrix serial: {len(names)} experiments ...", flush=True)
+        serial = Orchestrator(jobs=1, cache=cache).run(names, scale)
+        serial_digest = _matrix_digest(serial.digests)
+        entries["matrix_serial"] = {
+            "wall_seconds": serial.wall_seconds,
+            "jobs": 1,
+            "experiments": len(names),
+            "digest": serial_digest,
+            "verified": not serial.failed,
+        }
+        print(f"  matrix serial: {serial.wall_seconds:.1f}s wall", flush=True)
+
+        print(f"  matrix --jobs {jobs}: cold, no cache ...", flush=True)
+        par = Orchestrator(jobs=jobs, cache=None).run(names, scale)
+        entries[f"matrix_jobs{jobs}"] = {
+            "wall_seconds": par.wall_seconds,
+            "jobs": jobs,
+            "experiments": len(names),
+            "digest": _matrix_digest(par.digests),
+            "digest_identical_to_serial": _matrix_digest(par.digests) == serial_digest,
+            "speedup_vs_serial": serial.wall_seconds / par.wall_seconds,
+            "verified": not par.failed,
+            "cores": os.cpu_count(),
+        }
+        print(
+            f"  matrix --jobs {jobs}: {par.wall_seconds:.1f}s wall "
+            f"({serial.wall_seconds / par.wall_seconds:.2f}x vs serial)",
+            flush=True,
+        )
+
+        before = Testbed.constructions
+        warm = Orchestrator(jobs=jobs, cache=cache).run(names, scale)
+        entries["matrix_warm_cache"] = {
+            "wall_seconds": warm.wall_seconds,
+            "jobs": jobs,
+            "experiments": len(names),
+            "cache_hits": warm.cache_hits,
+            "testbed_constructions": Testbed.constructions - before,
+            "digest": _matrix_digest(warm.digests),
+            "digest_identical_to_serial": _matrix_digest(warm.digests) == serial_digest,
+            "verified": not warm.failed,
+        }
+        print(
+            f"  matrix warm cache: {warm.wall_seconds:.2f}s wall, "
+            f"{warm.cache_hits}/{len(names)} hits, "
+            f"{Testbed.constructions - before} testbeds built",
+            flush=True,
+        )
+    return entries
+
+
+def compare_matrix_to_baseline(
+    entries: dict[str, dict[str, object]], baseline: dict[str, object]
+) -> bool:
+    """Matrix digests present in both runs must match bit-for-bit."""
+    identical = True
+    for name, entry in entries.items():
+        base = baseline.get(name)
+        if not isinstance(base, dict) or "digest" not in base:
+            continue
+        if entry["digest"] != base["digest"]:
+            identical = False
+            print(
+                f"MATRIX DIGEST DRIFT in {name}: "
+                f"{base['digest']} -> {entry['digest']}",
+                file=sys.stderr,
+            )
+    return identical
 
 
 def compare_to_baseline(
@@ -248,6 +391,20 @@ def main(argv: list[str] | None = None) -> int:
         help="runs per workload; the fastest wall clock is kept",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan workloads across N processes (per-workload walls and "
+             "virtual results are measured per run, unaffected by fan-out)",
+    )
+    parser.add_argument(
+        "--matrix", action="store_true",
+        help="also benchmark the full experiment matrix serial vs "
+             "--matrix-jobs vs warm-cache (matrix_* entries in the JSON)",
+    )
+    parser.add_argument(
+        "--matrix-jobs", type=int, default=4, metavar="N",
+        help="worker count for the parallel matrix pass (default: 4)",
+    )
+    parser.add_argument(
         "--output", default=DEFAULT_OUTPUT,
         help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
     )
@@ -259,9 +416,15 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = SMALL if args.scale == "small" else TINY
     print(f"benchmarking {len(args.workloads)} workloads at scale={scale.name}")
-    results = run_suite(scale, args.workloads, max(1, args.repeat))
+    results = run_suite(scale, args.workloads, max(1, args.repeat), args.jobs)
+
+    matrix_entries: dict[str, dict[str, object]] = {}
+    if args.matrix:
+        print(f"benchmarking experiment matrix at scale={scale.name}")
+        matrix_entries = bench_matrix(scale, args.matrix_jobs)
 
     identical = True
+    baseline = None
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
         identical = compare_to_baseline(results, baseline)
@@ -270,7 +433,22 @@ def main(argv: list[str] | None = None) -> int:
         "schema": 1,
         "scale": scale.name,
         "workloads": results,
+        **matrix_entries,
     }
+    if matrix_entries:
+        if baseline is not None:
+            identical &= compare_matrix_to_baseline(matrix_entries, baseline)
+        # Serial/parallel/warm-cache passes must agree bit-for-bit.
+        if not all(
+            e.get("digest_identical_to_serial", True)
+            for e in matrix_entries.values()
+        ):
+            print(
+                "FAIL: matrix digests diverged between serial, parallel, "
+                "and warm-cache passes",
+                file=sys.stderr,
+            )
+            identical = False
     speedups = [o["speedup"] for o in results.values() if "speedup" in o]
     if speedups:
         report["geomean_speedup"] = math.exp(
@@ -293,6 +471,16 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
     if "geomean_speedup" in report:
         print(f"geomean speedup vs baseline: {report['geomean_speedup']:.3f}x")
+    for name, entry in matrix_entries.items():
+        line = f"{name}: {entry['wall_seconds']:.2f}s wall (--jobs {entry['jobs']})"
+        if "speedup_vs_serial" in entry:
+            line += f", {entry['speedup_vs_serial']:.2f}x vs serial"
+        if "cache_hits" in entry:
+            line += (
+                f", {entry['cache_hits']} cache hits, "
+                f"{entry['testbed_constructions']} testbeds built"
+            )
+        print(line)
     print(f"wrote {args.output}")
     if not identical:
         print("FAIL: virtual results drifted from the baseline", file=sys.stderr)
