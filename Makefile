@@ -1,12 +1,17 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test bench bench-wallclock profile experiments experiments-par examples clean
+.PHONY: install test test-faults bench bench-wallclock profile experiments experiments-par examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# The fault-injection experiment suite (excluded from `make test` by the
+# "not faults" marker expression; CI runs it in a dedicated job).
+test-faults:
+	PYTHONPATH=src pytest -m faults
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -316,6 +316,19 @@ class NVMalloc:
                 f"layout {section_order!r} must be a permutation of "
                 f"['__dram__', {', '.join(map(repr, var_map))}]"
             )
+        # Fail fast on unrecoverable data loss: a variable whose chunk has
+        # no surviving replica can never be flushed or linked.  Degraded
+        # variables (fewer replicas than configured, but readable) proceed
+        # normally — the client's failover path serves them.
+        lost: set[int] = set()
+        for variable in var_map.values():
+            lost.update(self.manager.lost_chunks(variable.backing_path))
+        if lost:
+            raise CheckpointError(
+                f"checkpoint {tag}@{timestep}: chunks {sorted(lost)} have "
+                "no surviving replica",
+                lost_chunks=tuple(sorted(lost)),
+            )
         path = self._checkpoint_path(tag, timestep)
         dram_len = len(dram_state)
         fd = yield from self.mount.open(

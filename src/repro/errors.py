@@ -48,7 +48,34 @@ class FileExistsInStoreError(StoreError):
 
 
 class BenefactorDownError(StoreError):
-    """The targeted benefactor has been marked offline."""
+    """The targeted benefactor has been marked offline.
+
+    Transient from the client's point of view: an administratively
+    offline benefactor may return (``mark_online``), and a replicated
+    chunk may still be readable elsewhere — the retry/failover loop in
+    :class:`~repro.store.client.StoreClient` re-resolves and retries.
+    """
+
+
+class ChunkUnavailableError(BenefactorDownError):
+    """Every replica of a chunk is gone; retrying cannot succeed.
+
+    Raised by the manager once a chunk lands in its *lost* set (all
+    benefactors holding replicas crashed before re-replication could
+    restore redundancy).  Subclasses :class:`BenefactorDownError` so
+    callers that treat any benefactor failure as fatal keep working,
+    while the client's failover loop treats it as terminal rather than
+    retryable.
+    """
+
+
+class ReplicationError(StoreError):
+    """Replicated placement or re-replication could not be satisfied.
+
+    E.g. a replication degree larger than the number of distinct online
+    benefactors with space, or a re-replication copy whose source and
+    target both died mid-flight.
+    """
 
 
 class FuseError(ReproError):
@@ -72,7 +99,16 @@ class AllocationError(NVMallocError):
 
 
 class CheckpointError(NVMallocError):
-    """``ssdcheckpoint`` or restart failed."""
+    """``ssdcheckpoint`` or restart failed.
+
+    When the failure is unrecoverable data loss, ``lost_chunks`` holds
+    the sorted chunk ids whose every replica is gone; it is empty for
+    other checkpoint failures.
+    """
+
+    def __init__(self, message: str, lost_chunks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.lost_chunks = tuple(lost_chunks)
 
 
 class CommError(ReproError):

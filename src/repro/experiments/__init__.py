@@ -21,6 +21,7 @@ from repro.experiments.tables import (
 )
 from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
+from repro.experiments.faults import faults
 from repro.experiments.parallel import Orchestrator, RunOutcome, check_identity
 from repro.experiments.resultcache import ResultCache
 
@@ -37,6 +38,7 @@ __all__ = [
     "checkpoint_experiment",
     "cost_analysis",
     "explicit_vs_swap",
+    "faults",
     "fig2",
     "fig3",
     "fig4",

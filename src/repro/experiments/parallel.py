@@ -28,6 +28,7 @@ from typing import Callable
 from repro.experiments.configs import ExperimentScale
 from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
+from repro.experiments.faults import faults
 from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
 from repro.experiments.report import ExperimentReport
 from repro.experiments.resultcache import ResultCache, code_fingerprint, result_key
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentReport], str]] = {
     "checkpoint": (checkpoint_experiment, "Chunk-linked checkpointing"),
     "cost": (cost_analysis, "Provisioning-cost analysis"),
     "explicit": (explicit_vs_swap, "Explicit placement vs transparent swap"),
+    "faults": (faults, "Crash schedules under replication r in {1,2}"),
 }
 
 #: Drivers that take no scale argument.

@@ -39,6 +39,10 @@ class JobConfig:
     readahead_chunks: int = 0
     daemon_threads: int = 1
     benefactor_contribution: int | None = None
+    #: Chunk replication degree of the aggregate store.  1 (the default)
+    #: is the paper's unreplicated layout and preserves the seed's
+    #: bit-identical behaviour; 2 tolerates any single benefactor crash.
+    replication: int = 1
 
     @property
     def num_ranks(self) -> int:
@@ -123,6 +127,7 @@ class Job:
             benefactor_nodes[0],
             chunk_size=config.chunk_size,
             metrics=self.cluster.metrics,
+            replication=config.replication,
         )
         for node in benefactor_nodes:
             benefactor = Benefactor(

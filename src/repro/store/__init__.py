@@ -15,7 +15,12 @@ network time is charged through the simulation substrate.
 from repro.store.chunk import CHUNK_SIZE, PAGE_SIZE, ChunkLocation, chunk_count
 from repro.store.benefactor import Benefactor
 from repro.store.manager import FileMeta, Manager
-from repro.store.client import StoreClient
+from repro.store.client import (
+    RETRY_ATTEMPTS,
+    RETRY_BACKOFF_SECONDS,
+    RETRY_DEADLINE_SECONDS,
+    StoreClient,
+)
 from repro.store.striping import (
     LocalFirstStriping,
     RoundRobinStriping,
@@ -30,6 +35,9 @@ __all__ = [
     "LocalFirstStriping",
     "Manager",
     "PAGE_SIZE",
+    "RETRY_ATTEMPTS",
+    "RETRY_BACKOFF_SECONDS",
+    "RETRY_DEADLINE_SECONDS",
     "RoundRobinStriping",
     "StoreClient",
     "StripingPolicy",

@@ -12,9 +12,10 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.cluster.node import Node
-from repro.errors import CapacityError, StoreError
+from repro.errors import BenefactorDownError, CapacityError, StoreError
 from repro.sim.events import Event
 from repro.store.chunk import CHUNK_SIZE
+from repro.util.intervals import IntervalSet
 from repro.util.recorder import MetricsRecorder
 
 
@@ -58,6 +59,14 @@ class Benefactor:
         self._out_counter = None
         self.online = True  # the manager's view (set via mark_offline)
         self.crashed = False  # ground truth: the node is actually dead
+        # Transient slowdown (fault injection): extra seconds charged per
+        # data-path operation while the virtual clock is before the mark.
+        self._slow_until = 0.0
+        self._slow_extra = 0.0
+        # Chunks mid-fill by re-replication: write-throughs that land while
+        # the copy is in flight record their intervals so the completed
+        # fill only patches the gaps (same merge rule as the chunk cache).
+        self._fill_shadow: dict[int, IntervalSet] = {}
 
     @property
     def name(self) -> str:
@@ -113,10 +122,22 @@ class Benefactor:
         """
         self.crashed = True
 
+    def slow_down(self, until: float, extra_seconds: float) -> None:
+        """Inject a transient slowdown (fault-injection hook).
+
+        Until virtual time ``until``, every data-path operation yields an
+        extra ``extra_seconds`` timeout — modelling a contended or
+        degraded node that is slow but not dead.
+        """
+        self._slow_until = until
+        self._slow_extra = extra_seconds
+
+    def _slowdown(self) -> Generator[Event, object, None]:
+        if self._slow_until > self.node.engine.now:
+            yield self.node.engine.timeout(self._slow_extra)
+
     def _check_online(self) -> None:
         if self.crashed or not self.online:
-            from repro.errors import BenefactorDownError
-
             raise BenefactorDownError(f"benefactor {self.name} is offline")
 
     def _extent_of(self, chunk_id: int) -> int:
@@ -156,7 +177,18 @@ class Benefactor:
                 f"{self.name}: write [{offset}, {offset + len(data)}) outside "
                 f"chunk of {self.chunk_size}"
             )
+        yield from self._slowdown()
         yield from self.node.network.transfer(client, self.name, len(data))
+        if self.crashed or not self.online:
+            # Crash-during-writeback: the payload travelled but was never
+            # applied or acknowledged.  The client must treat the write as
+            # lost and retry against a surviving replica.
+            raise BenefactorDownError(
+                f"benefactor {self.name} died mid-writeback of chunk {chunk_id}"
+            )
+        shadow = self._fill_shadow.get(chunk_id)
+        if shadow is not None:
+            shadow.add(offset, offset + len(data))
         payload = self._data.get(chunk_id)
         if payload is None and len(data) == self.chunk_size:
             # First write covering the whole chunk: adopt one copy of the
@@ -195,6 +227,7 @@ class Benefactor:
                 f"{self.name}: read [{offset}, {offset + length}) outside "
                 f"chunk of {self.chunk_size}"
             )
+        yield from self._slowdown()
         stored = self._data.get(chunk_id)
         if stored is not None:
             yield from self.ssd.read_extent(self._extent_of(chunk_id) + offset, length)
@@ -207,6 +240,11 @@ class Benefactor:
         else:
             data = bytearray(length)  # reserved-but-unwritten: zeroes, no device read
         yield from self.node.network.transfer(self.name, client, len(data))
+        if self.crashed or not self.online:
+            # Crash mid-transfer: bytes on the wire never arrived whole.
+            raise BenefactorDownError(
+                f"benefactor {self.name} died mid-fetch of chunk {chunk_id}"
+            )
         counter = self._out_counter
         if counter is None:
             counter = self._out_counter = self.metrics.counter(
@@ -232,8 +270,54 @@ class Benefactor:
             )
         # Copying a reserved-but-unwritten chunk leaves the copy unwritten.
 
+    # ------------------------------------------------------------------
+    # Re-replication fill protocol (driven by the manager)
+    # ------------------------------------------------------------------
+    def begin_fill(self, chunk_id: int) -> None:
+        """Start receiving a replica of ``chunk_id``.
+
+        From this moment the benefactor is a *write* replica: client
+        write-throughs land here and record their intervals in a fill
+        shadow, so :meth:`complete_fill` patches only the bytes the copy
+        snapshot still owns — a write-through that raced ahead of the
+        bulk copy is never clobbered by stale snapshot data.
+        """
+        self._fill_shadow[chunk_id] = IntervalSet()
+
+    def filling(self, chunk_id: int) -> bool:
+        """True while a replica fill for ``chunk_id`` is in flight."""
+        return chunk_id in self._fill_shadow
+
+    def complete_fill(
+        self, chunk_id: int, data: bytes | None
+    ) -> Generator[Event, object, None]:
+        """Land the bulk-copy snapshot taken from the surviving replica.
+
+        ``data=None`` means the source chunk was reserved but never
+        materialized — nothing to write; the replica stays unmaterialized
+        too (unless a write-through already materialized it here).
+        Charges the SSD write for every snapshot byte actually applied.
+        """
+        self._check_online()
+        shadow = self._fill_shadow.pop(chunk_id)
+        if data is None:
+            return
+        payload = self._materialize(chunk_id)
+        extent = self._extent_of(chunk_id)
+        written = 0
+        for start, stop in shadow.gaps(0, self.chunk_size):
+            payload[start:stop] = data[start:stop]
+            written += stop - start
+        if written:
+            yield from self.ssd.write_extent(extent, written)
+
+    def abort_fill(self, chunk_id: int) -> None:
+        """Drop fill state after a failed re-replication copy."""
+        self._fill_shadow.pop(chunk_id, None)
+
     def delete_chunk(self, chunk_id: int) -> None:
         """Drop a chunk's data and recycle its extent (TRIMs the flash)."""
+        self._fill_shadow.pop(chunk_id, None)
         if chunk_id in self._data:
             extent = self._extents.pop(chunk_id)
             del self._data[chunk_id]

@@ -12,10 +12,20 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.cluster.node import Node
+from repro.errors import BenefactorDownError, ChunkUnavailableError
 from repro.sim.events import Event
 from repro.store.benefactor import Benefactor
 from repro.store.manager import FileMeta, Manager
 from repro.util.recorder import MetricsRecorder
+
+#: Retry/failover tuning (virtual time).  A failed chunk RPC is reported
+#: to the manager, the cached map is dropped, and the operation re-resolves
+#: after an exponential backoff — until the attempt cap or deadline, when
+#: the original error propagates (``ChunkUnavailableError`` propagates
+#: immediately: no amount of retrying brings a lost chunk back).
+RETRY_ATTEMPTS = 4
+RETRY_BACKOFF_SECONDS = 0.0005  # first backoff; doubles per attempt
+RETRY_DEADLINE_SECONDS = 1.0
 
 
 class StoreClient:
@@ -32,12 +42,23 @@ class StoreClient:
         self.manager = manager
         self.chunk_size = manager.chunk_size
         self.metrics = metrics if metrics is not None else node.metrics
-        # (file, generation) -> {index: (chunk_id, benefactor)}
-        self._map_cache: dict[str, tuple[int, dict[int, tuple[int, Benefactor]]]] = {}
+        # file -> (generation, read map {index: (chunk_id, benefactor)},
+        #          write map {index: (chunk_id, [replicas])})
+        self._map_cache: dict[
+            str,
+            tuple[
+                int,
+                dict[int, tuple[int, Benefactor]],
+                dict[int, tuple[int, list[Benefactor]]],
+            ],
+        ] = {}
         # Hot-path counters, resolved on first use (snapshot-identical
-        # to per-call ``metrics.add``).
+        # to per-call ``metrics.add``).  The retry counter only ever
+        # materializes on fault paths, keeping no-fault snapshots (and
+        # hence report digests) identical to the seed.
         self._read_counter = None
         self._write_counter = None
+        self._retry_counter = None
 
     @property
     def client_name(self) -> str:
@@ -70,20 +91,79 @@ class StoreClient:
     # ------------------------------------------------------------------
     # Chunk resolution with map caching
     # ------------------------------------------------------------------
-    def _resolve(
-        self, name: str, index: int
-    ) -> Generator[Event, object, tuple[int, Benefactor]]:
+    def _cached_maps(
+        self, name: str
+    ) -> Generator[
+        Event,
+        object,
+        tuple[
+            int,
+            dict[int, tuple[int, Benefactor]],
+            dict[int, tuple[int, list[Benefactor]]],
+        ],
+    ]:
         meta = self.manager.lookup(name)
         cached = self._map_cache.get(name)
         if cached is None or cached[0] != meta.generation:
             # Cold or invalidated map: one metadata round trip refreshes it.
             yield from self.manager.rpc(self.client_name)
-            cached = (meta.generation, {})
+            cached = (meta.generation, {}, {})
             self._map_cache[name] = cached
+        return cached
+
+    def _resolve(
+        self, name: str, index: int
+    ) -> Generator[Event, object, tuple[int, Benefactor]]:
+        """The preferred read replica for one chunk (map-cached)."""
+        cached = yield from self._cached_maps(name)
         mapping = cached[1]
         if index not in mapping:
-            mapping[index] = self.manager.resolve_chunk(name, index)
+            mapping[index] = self.manager.resolve_chunk(
+                name, index, client=self.client_name
+            )
         return mapping[index]
+
+    def _resolve_write(
+        self, name: str, index: int
+    ) -> Generator[Event, object, tuple[int, list[Benefactor]]]:
+        """All write replicas for one chunk (map-cached)."""
+        cached = yield from self._cached_maps(name)
+        mapping = cached[2]
+        if index not in mapping:
+            mapping[index] = self.manager.resolve_replicas(name, index)
+        return mapping[index]
+
+    def _report_and_backoff(
+        self,
+        name: str,
+        benefactor: Benefactor,
+        error: BenefactorDownError,
+        attempt: int,
+        started: float,
+    ) -> Generator[Event, object, None]:
+        """Shared failover step: report, invalidate, back off — or give up.
+
+        Raises ``error`` once the attempt cap or deadline is exhausted;
+        otherwise returns after the backoff timeout, with the map cache
+        dropped so the caller re-resolves against fresh manager state.
+        """
+        counter = self._retry_counter
+        if counter is None:
+            counter = self._retry_counter = self.metrics.counter(
+                "store.client.retries"
+            )
+        counter.total += 1
+        counter.count += 1
+        yield from self.manager.report_failure(self.client_name, benefactor.name)
+        self._map_cache.pop(name, None)
+        if (
+            attempt >= RETRY_ATTEMPTS
+            or self.node.engine.now - started >= RETRY_DEADLINE_SECONDS
+        ):
+            raise error
+        yield self.node.engine.timeout(
+            RETRY_BACKOFF_SECONDS * (2 ** (attempt - 1))
+        )
 
     def _pieces(self, offset: int, length: int) -> list[tuple[int, int, int]]:
         """Split ``[offset, offset+length)`` into (chunk_index, chunk_offset,
@@ -102,6 +182,37 @@ class StoreClient:
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
+    def _fetch_failover(
+        self, name: str, index: int, chunk_off: int, length: int
+    ) -> Generator[Event, object, bytearray]:
+        """Fetch chunk bytes, failing over to surviving replicas.
+
+        On the fault-free path this is exactly resolve + fetch (no added
+        events).  A data-op :class:`BenefactorDownError` triggers the
+        retry loop: report the benefactor, drop the cached map, back off,
+        re-resolve (now pointing at a surviving replica or, once the
+        chunk is lost, raising :class:`ChunkUnavailableError`).
+        """
+        attempt = 0
+        started = None
+        while True:
+            chunk_id, benefactor = yield from self._resolve(name, index)
+            try:
+                return (
+                    yield from benefactor.fetch_chunk(
+                        self.client_name, chunk_id, chunk_off, length
+                    )
+                )
+            except ChunkUnavailableError:
+                raise
+            except BenefactorDownError as error:
+                if started is None:
+                    started = self.node.engine.now
+                attempt += 1
+                yield from self._report_and_backoff(
+                    name, benefactor, error, attempt, started
+                )
+
     def read(
         self, name: str, offset: int, length: int
     ) -> Generator[Event, object, bytes]:
@@ -109,10 +220,7 @@ class StoreClient:
         self._check_range(name, offset, length)
         parts: list[bytes] = []
         for index, chunk_off, piece in self._pieces(offset, length):
-            chunk_id, benefactor = yield from self._resolve(name, index)
-            data = yield from benefactor.fetch_chunk(
-                self.client_name, chunk_id, chunk_off, piece
-            )
+            data = yield from self._fetch_failover(name, index, chunk_off, piece)
             parts.append(data)
         counter = self._read_counter
         if counter is None:
@@ -129,12 +237,9 @@ class StoreClient:
         Returns a fresh buffer the caller owns outright (the chunk cache
         adopts it as an entry payload without another copy).
         """
-        chunk_id, benefactor = yield from self._resolve(name, index)
         meta = self.manager.lookup(name)
         length = min(self.chunk_size, meta.size - index * self.chunk_size)
-        data = yield from benefactor.fetch_chunk(
-            self.client_name, chunk_id, 0, length
-        )
+        data = yield from self._fetch_failover(name, index, 0, length)
         counter = self._read_counter
         if counter is None:
             counter = self._read_counter = self.metrics.counter(
@@ -163,27 +268,53 @@ class StoreClient:
 
         ``ranges`` is a list of ``(offset_in_chunk, payload)``.  If the
         chunk is shared with a checkpoint file, a COW replacement is
-        created first so the checkpoint's view stays frozen.
+        created first so the checkpoint's view stays frozen.  The payload
+        is propagated to every live replica; a replica dying mid-write
+        triggers the failover loop (re-sending a range to a replica that
+        already has it is idempotent).
         """
-        chunk_id, benefactor = yield from self._resolve(name, index)
-        if self.manager.chunk_refcount(chunk_id) > 1:
-            yield from self.manager.rpc(self.client_name)
-            old_id, new_id, owner = self.manager.cow_chunk(name, index)
-            yield from owner.copy_chunk_local(old_id, new_id)
-            # We initiated the COW, so our map stays warm at the new
-            # generation; other sharers will refresh on their next access.
-            meta = self.manager.lookup(name)
-            cached = self._map_cache.get(name)
-            mapping = dict(cached[1]) if cached is not None else {}
-            mapping[index] = (new_id, owner)
-            self._map_cache[name] = (meta.generation, mapping)
-            chunk_id, benefactor = new_id, owner
-        total = 0
-        for chunk_off, payload in ranges:
-            yield from benefactor.store_chunk(
-                self.client_name, chunk_id, payload, chunk_off
-            )
-            total += len(payload)
+        attempt = 0
+        started = None
+        while True:
+            chunk_id, replicas = yield from self._resolve_write(name, index)
+            if self.manager.chunk_refcount(chunk_id) > 1:
+                yield from self.manager.rpc(self.client_name)
+                old_id, chunk_id, _primary = self.manager.cow_chunk(name, index)
+                yield from self._cow_copy(old_id, chunk_id)
+                # We initiated the COW, so our map stays warm at the new
+                # generation; other sharers will refresh on their next access.
+                meta = self.manager.lookup(name)
+                cached = self._map_cache.get(name)
+                read_map = dict(cached[1]) if cached is not None else {}
+                write_map = dict(cached[2]) if cached is not None else {}
+                replicas = [
+                    b
+                    for b in self.manager.chunk_replicas(chunk_id)
+                    if b.online
+                ]
+                read_map[index] = (chunk_id, self._prefer(replicas))
+                write_map[index] = (chunk_id, replicas)
+                self._map_cache[name] = (meta.generation, read_map, write_map)
+            benefactor = replicas[0]
+            try:
+                total = 0
+                for chunk_off, payload in ranges:
+                    for benefactor in replicas:
+                        yield from benefactor.store_chunk(
+                            self.client_name, chunk_id, payload, chunk_off
+                        )
+                    total += len(payload)
+            except ChunkUnavailableError:
+                raise
+            except BenefactorDownError as error:
+                if started is None:
+                    started = self.node.engine.now
+                attempt += 1
+                yield from self._report_and_backoff(
+                    name, benefactor, error, attempt, started
+                )
+                continue
+            break
         counter = self._write_counter
         if counter is None:
             counter = self._write_counter = self.metrics.counter(
@@ -191,6 +322,53 @@ class StoreClient:
             )
         counter.total += total
         counter.count += 1
+
+    def _prefer(self, replicas: list[Benefactor]) -> Benefactor:
+        """Read preference among live replicas: co-located, else first."""
+        for benefactor in replicas:
+            if benefactor.name == self.client_name:
+                return benefactor
+        return replicas[0]
+
+    def _cow_copy(
+        self, old_id: int, new_id: int
+    ) -> Generator[Event, object, None]:
+        """Materialize a COW replacement on every live replica.
+
+        A replica dying mid-copy is reported (the manager forfeits it,
+        striking it from the new chunk's replica list) and the copy
+        continues on the survivors; replicas already copied are skipped.
+        """
+        copied: set[str] = set()
+        attempt = 0
+        started = None
+        while True:
+            replicas = [
+                b
+                for b in self.manager.chunk_replicas(new_id)
+                if b.online and b.name not in copied
+            ]
+            benefactor = None
+            try:
+                for benefactor in replicas:
+                    yield from benefactor.copy_chunk_local(old_id, new_id)
+                    copied.add(benefactor.name)
+            except ChunkUnavailableError:
+                raise
+            except BenefactorDownError as error:
+                if started is None:
+                    started = self.node.engine.now
+                attempt += 1
+                yield from self.manager.report_failure(
+                    self.client_name, benefactor.name
+                )
+                if (
+                    attempt >= RETRY_ATTEMPTS
+                    or self.node.engine.now - started >= RETRY_DEADLINE_SECONDS
+                ):
+                    raise error
+                continue
+            return
 
     # ------------------------------------------------------------------
     def _check_range(self, name: str, offset: int, length: int) -> None:

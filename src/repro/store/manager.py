@@ -12,6 +12,7 @@ a copy-on-write replacement, preserving the checkpoint's frozen view.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from collections.abc import Generator
 from dataclasses import dataclass, field
 
@@ -19,6 +20,7 @@ from repro.cluster.node import Node
 from repro.errors import (
     BenefactorDownError,
     ChunkNotFoundError,
+    ChunkUnavailableError,
     FileExistsInStoreError,
     FileNotFoundInStoreError,
     StoreError,
@@ -62,16 +64,38 @@ class Manager:
         chunk_size: int = CHUNK_SIZE,
         striping: StripingPolicy | None = None,
         metrics: MetricsRecorder | None = None,
+        replication: int = 1,
     ) -> None:
+        if replication < 1:
+            raise StoreError(f"replication degree must be >= 1, got {replication}")
         self.node = node
         self.chunk_size = chunk_size
         self.striping = striping if striping is not None else RoundRobinStriping()
         self.metrics = metrics if metrics is not None else node.metrics
+        self.replication = replication
         self._benefactors: dict[str, Benefactor] = {}
         self._files: dict[str, FileMeta] = {}
         self._chunk_ids = itertools.count(1)
-        self._chunk_owner: dict[int, Benefactor] = {}
+        # Replica lists per chunk, policy-preferred benefactor first.  At
+        # replication=1 every list is a singleton and behaviour is
+        # bit-identical to the unreplicated seed.
+        self._chunk_replicas: dict[int, list[Benefactor]] = {}
         self._chunk_refs: dict[int, int] = {}
+        # Reverse indexes for failure handling: which chunks live on each
+        # benefactor, and which files reference each chunk (for lease
+        # invalidation via generation bumps).
+        self._benefactor_chunks: dict[str, set[int]] = {}
+        self._chunk_files: dict[int, set[str]] = {}
+        # Fault-tolerance state: benefactors already forfeited, chunks
+        # awaiting re-replication, chunks that cannot make progress until
+        # capacity returns, and chunks whose every replica is gone.
+        self._forfeited: set[str] = set()
+        self._degraded: deque[int] = deque()
+        self._stalled: list[int] = []
+        self._lost: set[int] = set()
+        self._rereplication_inflight = 0
+        self._rereplication_wakeup = None
+        self._idle_waiters: list[Event] = []
 
     @property
     def name(self) -> str:
@@ -86,6 +110,7 @@ class Manager:
         if benefactor.name in self._benefactors:
             raise StoreError(f"benefactor {benefactor.name} already registered")
         self._benefactors[benefactor.name] = benefactor
+        self._requeue_stalled()
 
     def benefactors(self) -> list[Benefactor]:
         """All registered benefactors."""
@@ -96,12 +121,27 @@ class Manager:
         return [b for b in self._benefactors.values() if b.online]
 
     def mark_offline(self, name: str) -> None:
-        """Benefactor status monitoring: take a benefactor out of service."""
-        self._benefactor(name).online = False
+        """Take a benefactor out of service.
+
+        Administrative offlining (the node is *not* crashed) keeps its
+        reservations and replica membership: the benefactor may return
+        via :meth:`mark_online` with its data intact, and resolution
+        merely raises :class:`BenefactorDownError` meanwhile.
+
+        Offlining a **crashed** benefactor forfeits it: every reservation
+        it held is released, it is struck from every chunk's replica
+        list, chunks with surviving replicas are queued for background
+        re-replication, and chunks with none are declared lost.
+        """
+        benefactor = self._benefactor(name)
+        benefactor.online = False
+        if benefactor.crashed and name not in self._forfeited:
+            self._forfeit(benefactor)
 
     def mark_online(self, name: str) -> None:
-        """Return a benefactor to service."""
+        """Return an administratively offline benefactor to service."""
         self._benefactor(name).online = True
+        self._requeue_stalled()
 
     def _benefactor(self, name: str) -> Benefactor:
         try:
@@ -133,14 +173,231 @@ class Manager:
                     self.name, benefactor.name, CONTROL_MESSAGE_BYTES
                 )
                 if benefactor.crashed:
-                    self.mark_offline(benefactor.name)
+                    self.mark_offline(benefactor.name)  # forfeits: see there
                     marked += 1
-                    self.metrics.add("store.manager.benefactors_failed")
                 else:
                     yield from self.node.network.transfer(
                         benefactor.name, self.name, CONTROL_MESSAGE_BYTES
                     )
         return marked
+
+    # ------------------------------------------------------------------
+    # Failure handling and background re-replication (paper §III-E)
+    # ------------------------------------------------------------------
+    def report_failure(
+        self, client: str, name: str
+    ) -> Generator[Event, object, bool]:
+        """A client reports a failed data operation against benefactor
+        ``name``.
+
+        One control round trip.  The manager trusts but verifies: only a
+        benefactor that really crashed is failed over (a merely slow or
+        administratively offline node is left alone).  Returns ``True``
+        when the report took the benefactor out of service.
+        """
+        yield from self.node.network.transfer(
+            client, self.name, CONTROL_MESSAGE_BYTES
+        )
+        benefactor = self._benefactor(name)
+        failed = False
+        if benefactor.crashed and name not in self._forfeited:
+            self.mark_offline(name)
+            failed = True
+        yield from self.node.network.transfer(
+            self.name, client, CONTROL_MESSAGE_BYTES
+        )
+        return failed
+
+    def _forfeit(self, benefactor: Benefactor) -> None:
+        """Strike a crashed benefactor from the store's books."""
+        self._forfeited.add(benefactor.name)
+        chunk_ids = sorted(self._benefactor_chunks.pop(benefactor.name, ()))
+        for chunk_id in chunk_ids:
+            replicas = self._chunk_replicas[chunk_id]
+            replicas.remove(benefactor)
+            benefactor.abort_fill(chunk_id)
+            benefactor.unreserve(self.chunk_size)
+            survivors = [b for b in replicas if not b.crashed]
+            if survivors:
+                self.metrics.add("store.manager.chunks_degraded")
+                self._degraded.append(chunk_id)
+            else:
+                self._lost.add(chunk_id)
+                self.metrics.add("store.manager.chunks_lost")
+            self._bump_files(chunk_id)
+        self.metrics.add("store.manager.benefactors_failed")
+        self._wake_rereplicator()
+
+    def _bump_files(self, chunk_id: int) -> None:
+        """Invalidate client map leases for every file using ``chunk_id``."""
+        for file_name in self._chunk_files.get(chunk_id, ()):
+            meta = self._files.get(file_name)
+            if meta is not None:
+                meta.generation += 1
+
+    def _requeue_stalled(self) -> None:
+        """Capacity returned: retry chunks whose re-replication stalled."""
+        if self._stalled:
+            self._degraded.extend(self._stalled)
+            self._stalled.clear()
+            self._wake_rereplicator()
+
+    def _wake_rereplicator(self) -> None:
+        wakeup = self._rereplication_wakeup
+        if wakeup is not None:
+            self._rereplication_wakeup = None
+            wakeup.succeed()
+
+    def _notify_idle(self) -> None:
+        waiters, self._idle_waiters = self._idle_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    @property
+    def rereplication_pending(self) -> int:
+        """Chunks queued or mid-copy (stalled chunks not included)."""
+        return len(self._degraded) + self._rereplication_inflight
+
+    @property
+    def rereplication_stalled(self) -> int:
+        """Degraded chunks that cannot be re-replicated until capacity
+        or an offline survivor returns."""
+        return len(self._stalled)
+
+    def lost_chunks(self, name: str) -> tuple[int, ...]:
+        """Sorted chunk ids of ``name`` whose every replica is gone."""
+        meta = self.lookup(name)
+        if not self._lost:
+            return ()
+        return tuple(sorted(set(meta.chunk_ids) & self._lost))
+
+    def under_replicated(self) -> tuple[int, ...]:
+        """Sorted ids of live chunks below the configured degree.
+
+        Empty once background re-replication has fully restored
+        redundancy (lost chunks are not *under*-replicated; they are
+        gone, see :meth:`lost_chunks`).
+        """
+        return tuple(
+            sorted(
+                chunk_id
+                for chunk_id, replicas in self._chunk_replicas.items()
+                if chunk_id not in self._lost
+                and sum(1 for b in replicas if not b.crashed) < self.replication
+            )
+        )
+
+    def rereplicator(self) -> Generator[Event, object, None]:
+        """Background redundancy-repair process (spawn via
+        ``engine.process``).
+
+        Sleeps on a wakeup event until a failure enqueues degraded
+        chunks, then drains the queue one copy at a time: fetch from the
+        first readable surviving replica, stream to a fresh benefactor
+        (real network + SSD charges), and register the new replica.
+        Chunks that cannot make progress (no readable source or no
+        target with space) park in a stalled list re-queued by
+        :meth:`register_benefactor`/:meth:`mark_online`.
+        """
+        while True:
+            if not self._degraded:
+                self._notify_idle()
+                wakeup = self.node.engine.event()
+                self._rereplication_wakeup = wakeup
+                yield wakeup
+                continue
+            yield from self.rereplicate_pending()
+
+    def rereplicate_pending(self) -> Generator[Event, object, int]:
+        """Drain the current re-replication queue; returns chunks repaired.
+
+        The bounded building block behind :meth:`rereplicator`, also
+        usable directly from tests and drivers.
+        """
+        repaired = 0
+        while self._degraded:
+            chunk_id = self._degraded.popleft()
+            self._rereplication_inflight += 1
+            try:
+                repaired += yield from self._rereplicate_chunk(chunk_id)
+            finally:
+                self._rereplication_inflight -= 1
+        if not self._degraded:
+            self._notify_idle()
+        return repaired
+
+    def rereplication_quiesce(self) -> Generator[Event, object, None]:
+        """Wait until the re-replication queue is fully drained."""
+        while self.rereplication_pending:
+            waiter = self.node.engine.event()
+            self._idle_waiters.append(waiter)
+            yield waiter
+
+    def _rereplicate_chunk(
+        self, chunk_id: int
+    ) -> Generator[Event, object, int]:
+        """Restore one chunk's replication degree; returns 1 on success."""
+        if chunk_id in self._lost or chunk_id not in self._chunk_refs:
+            return 0  # lost meanwhile, or deleted (refcount hit zero)
+        replicas = self._chunk_replicas[chunk_id]
+        live = [b for b in replicas if not b.crashed]
+        if len(live) >= self.replication:
+            return 0  # already repaired (e.g. duplicate enqueue)
+        sources = [
+            b for b in live if b.online and not b.filling(chunk_id)
+        ]
+        if not sources:
+            self._stalled.append(chunk_id)
+            return 0
+        source = sources[0]
+        taken = {b.name for b in replicas}
+        candidates = sorted(
+            (
+                b
+                for b in self.online_benefactors()
+                if b.name not in taken and b.available >= self.chunk_size
+            ),
+            key=lambda b: (-b.available, b.name),
+        )
+        if not candidates:
+            self._stalled.append(chunk_id)
+            return 0
+        target = candidates[0]
+        target.reserve(self.chunk_size)
+        target.begin_fill(chunk_id)
+        replicas.append(target)
+        self._benefactor_chunks.setdefault(target.name, set()).add(chunk_id)
+        # Writers must start write-through to the fill target immediately,
+        # or bytes written during the copy would miss the new replica.
+        self._bump_files(chunk_id)
+        try:
+            if source.has_chunk(chunk_id):
+                data = yield from source.fetch_chunk(target.name, chunk_id)
+            else:
+                data = None  # reserved-but-unwritten: nothing to copy
+            yield from target.complete_fill(chunk_id, data)
+        except BenefactorDownError:
+            # Source or target died mid-copy.  Roll the target back unless
+            # a concurrent forfeit already struck it from the books.
+            indexed = self._benefactor_chunks.get(target.name)
+            if indexed is not None and chunk_id in indexed:
+                indexed.discard(chunk_id)
+                if target in replicas:
+                    replicas.remove(target)
+                target.abort_fill(chunk_id)
+                target.unreserve(self.chunk_size)
+            survivors = [b for b in replicas if not b.crashed]
+            if survivors:
+                self._degraded.append(chunk_id)
+            elif chunk_id not in self._lost:
+                self._lost.add(chunk_id)
+                self.metrics.add("store.manager.chunks_lost")
+                self._bump_files(chunk_id)
+            return 0
+        self.metrics.add("store.manager.chunks_rereplicated")
+        if data is not None:
+            self.metrics.add("store.manager.rereplication_bytes", len(data))
+        return 1
 
     def total_capacity(self) -> int:
         """Sum of all contributions in bytes."""
@@ -174,19 +431,32 @@ class Manager:
         if size < 0:
             raise StoreError(f"negative file size {size}")
         num_chunks = chunk_count(size, self.chunk_size)
-        placement = self.striping.place(
-            self.online_benefactors(), num_chunks, self.chunk_size, client
+        placement = self.striping.place_replicas(
+            self.online_benefactors(),
+            num_chunks,
+            self.chunk_size,
+            client,
+            self.replication,
         )
         meta = FileMeta(name=name, size=size)
-        for benefactor in placement:
-            benefactor.reserve(self.chunk_size)
-            chunk_id = next(self._chunk_ids)
-            self._chunk_owner[chunk_id] = benefactor
-            self._chunk_refs[chunk_id] = 1
-            meta.chunk_ids.append(chunk_id)
+        for replicas in placement:
+            meta.chunk_ids.append(self._admit_chunk(name, replicas))
         self._files[name] = meta
         self.metrics.add("store.manager.files_created")
         return meta
+
+    def _admit_chunk(self, name: str, replicas: list[Benefactor]) -> int:
+        """Reserve space on every replica and register a fresh chunk."""
+        chunk_id = next(self._chunk_ids)
+        for benefactor in replicas:
+            benefactor.reserve(self.chunk_size)
+            self._benefactor_chunks.setdefault(benefactor.name, set()).add(
+                chunk_id
+            )
+        self._chunk_replicas[chunk_id] = list(replicas)
+        self._chunk_refs[chunk_id] = 1
+        self._chunk_files[chunk_id] = {name}
+        return chunk_id
 
     def extend_file(self, name: str, nbytes: int, *, client: str) -> int:
         """Append ``nbytes`` of freshly reserved space to a file.
@@ -200,15 +470,15 @@ class Manager:
             raise StoreError(f"negative extension {nbytes}")
         offset = meta.num_chunks * self.chunk_size
         num_chunks = chunk_count(nbytes, self.chunk_size)
-        placement = self.striping.place(
-            self.online_benefactors(), num_chunks, self.chunk_size, client
+        placement = self.striping.place_replicas(
+            self.online_benefactors(),
+            num_chunks,
+            self.chunk_size,
+            client,
+            self.replication,
         )
-        for benefactor in placement:
-            benefactor.reserve(self.chunk_size)
-            chunk_id = next(self._chunk_ids)
-            self._chunk_owner[chunk_id] = benefactor
-            self._chunk_refs[chunk_id] = 1
-            meta.chunk_ids.append(chunk_id)
+        for replicas in placement:
+            meta.chunk_ids.append(self._admit_chunk(name, replicas))
         meta.size = offset + nbytes
         return offset
 
@@ -223,21 +493,67 @@ class Manager:
         """True when the store holds a file called ``name``."""
         return name in self._files
 
-    def resolve_chunk(self, name: str, index: int) -> tuple[int, Benefactor]:
-        """Which benefactor stores chunk ``index`` of file ``name``."""
+    def _chunk_id_at(self, name: str, index: int) -> int:
         meta = self.lookup(name)
         if not 0 <= index < meta.num_chunks:
             raise ChunkNotFoundError(
                 f"{name!r} has {meta.num_chunks} chunks, no index {index}"
             )
-        chunk_id = meta.chunk_ids[index]
-        owner = self._chunk_owner[chunk_id]
-        if not owner.online:
-            raise BenefactorDownError(
-                f"chunk {chunk_id} of {name!r} lives on offline benefactor "
-                f"{owner.name}"
+        return meta.chunk_ids[index]
+
+    def resolve_chunk(
+        self, name: str, index: int, *, client: str | None = None
+    ) -> tuple[int, Benefactor]:
+        """The preferred *read* replica for chunk ``index`` of ``name``.
+
+        Prefers a replica co-located with ``client``, else the first
+        ready one in placement order (at replication=1 this is exactly
+        the seed's single-owner resolution).  Replicas still being
+        filled by re-replication are write-only and never returned.
+        Raises :class:`ChunkUnavailableError` when the chunk is lost
+        (retrying is pointless) and :class:`BenefactorDownError` when
+        every replica is merely out of service (it may return).
+        """
+        chunk_id = self._chunk_id_at(name, index)
+        if chunk_id in self._lost:
+            raise ChunkUnavailableError(
+                f"chunk {chunk_id} of {name!r} is lost: every replica is gone"
             )
-        return chunk_id, owner
+        replicas = self._chunk_replicas[chunk_id]
+        ready = [
+            b for b in replicas if b.online and not b.filling(chunk_id)
+        ]
+        if not ready:
+            raise BenefactorDownError(
+                f"chunk {chunk_id} of {name!r} has no in-service replica "
+                f"(of {[b.name for b in replicas]})"
+            )
+        if client is not None:
+            for benefactor in ready:
+                if benefactor.name == client:
+                    return chunk_id, benefactor
+        return chunk_id, ready[0]
+
+    def resolve_replicas(
+        self, name: str, index: int
+    ) -> tuple[int, list[Benefactor]]:
+        """All *write* replicas for chunk ``index`` of ``name``.
+
+        Includes replicas still being filled by re-replication (writes
+        must reach them or the fill snapshot would clobber fresh data).
+        Same error contract as :meth:`resolve_chunk`.
+        """
+        chunk_id = self._chunk_id_at(name, index)
+        if chunk_id in self._lost:
+            raise ChunkUnavailableError(
+                f"chunk {chunk_id} of {name!r} is lost: every replica is gone"
+            )
+        writable = [b for b in self._chunk_replicas[chunk_id] if b.online]
+        if not writable:
+            raise BenefactorDownError(
+                f"chunk {chunk_id} of {name!r} has no in-service replica"
+            )
+        return chunk_id, writable
 
     def chunk_refcount(self, chunk_id: int) -> int:
         """How many files reference this chunk."""
@@ -247,16 +563,28 @@ class Manager:
             raise ChunkNotFoundError(f"unknown chunk {chunk_id}") from None
 
     def chunk_owner(self, chunk_id: int) -> Benefactor:
-        """The benefactor storing this chunk."""
+        """The primary (placement-preferred) benefactor of this chunk."""
+        return self.chunk_replicas(chunk_id)[0]
+
+    def chunk_replicas(self, chunk_id: int) -> list[Benefactor]:
+        """All benefactors holding (or filling) a replica of this chunk."""
         try:
-            return self._chunk_owner[chunk_id]
+            replicas = self._chunk_replicas[chunk_id]
         except KeyError:
             raise ChunkNotFoundError(f"unknown chunk {chunk_id}") from None
+        if not replicas:
+            raise ChunkUnavailableError(
+                f"chunk {chunk_id} is lost: every replica is gone"
+            )
+        return list(replicas)
 
     def delete_file(self, name: str) -> None:
         """Drop a file; chunks are freed when their refcount reaches zero."""
         meta = self.lookup(name)
         for chunk_id in meta.chunk_ids:
+            files = self._chunk_files.get(chunk_id)
+            if files is not None:
+                files.discard(name)
             self._release_chunk(chunk_id)
         del self._files[name]
         self.metrics.add("store.manager.files_deleted")
@@ -264,10 +592,16 @@ class Manager:
     def _release_chunk(self, chunk_id: int) -> None:
         self._chunk_refs[chunk_id] -= 1
         if self._chunk_refs[chunk_id] == 0:
-            owner = self._chunk_owner.pop(chunk_id)
+            replicas = self._chunk_replicas.pop(chunk_id)
             del self._chunk_refs[chunk_id]
-            owner.delete_chunk(chunk_id)
-            owner.unreserve(self.chunk_size)
+            self._chunk_files.pop(chunk_id, None)
+            self._lost.discard(chunk_id)
+            for owner in replicas:
+                owner.delete_chunk(chunk_id)
+                owner.unreserve(self.chunk_size)
+                indexed = self._benefactor_chunks.get(owner.name)
+                if indexed is not None:
+                    indexed.discard(chunk_id)
 
     # ------------------------------------------------------------------
     # Checkpoint linking and copy-on-write (paper §III-E)
@@ -285,6 +619,7 @@ class Manager:
         dst.size = dst.num_chunks * self.chunk_size
         for chunk_id in src.chunk_ids:
             self._chunk_refs[chunk_id] += 1
+            self._chunk_files.setdefault(chunk_id, set()).add(dst_name)
             dst.chunk_ids.append(chunk_id)
         dst.size += src.size
         self.metrics.add("store.manager.chunks_linked", src.num_chunks)
@@ -297,12 +632,12 @@ class Manager:
     def cow_chunk(self, name: str, index: int) -> tuple[int, int, Benefactor]:
         """Prepare a copy-on-write replacement for a shared chunk.
 
-        Allocates a fresh chunk id on the same benefactor, rebinds the
+        Allocates a fresh chunk id on the same benefactor(s), rebinds the
         file's map to it, and drops one reference from the original.
-        Returns ``(old_chunk_id, new_chunk_id, benefactor)``; the caller is
-        responsible for copying payload (e.g. via
-        :meth:`Benefactor.copy_chunk_local`) before writing, and for
-        charging the RPC.
+        Returns ``(old_chunk_id, new_chunk_id, primary_benefactor)``; the
+        caller is responsible for copying payload on *every* replica
+        (:meth:`chunk_replicas` lists them; at replication=1 the primary
+        is the only one) before writing, and for charging the RPC.
         """
         meta = self.lookup(name)
         old_id = meta.chunk_ids[index]
@@ -310,16 +645,34 @@ class Manager:
             raise StoreError(
                 f"chunk {old_id} of {name!r} is not shared; COW is unnecessary"
             )
-        owner = self._chunk_owner[old_id]
-        owner.reserve(self.chunk_size)
+        # The copy lands on the live replicas of the original — a crashed
+        # (not-yet-forfeited) replica has no data to copy from, so the
+        # new chunk starts at the surviving degree and is queued for
+        # repair if that is short of the target.
+        replicas = [b for b in self._chunk_replicas[old_id] if not b.crashed]
+        if not replicas:
+            raise ChunkUnavailableError(
+                f"chunk {old_id} of {name!r} is lost: cannot copy-on-write"
+            )
         new_id = next(self._chunk_ids)
-        self._chunk_owner[new_id] = owner
+        for owner in replicas:
+            owner.reserve(self.chunk_size)
+            self._benefactor_chunks.setdefault(owner.name, set()).add(new_id)
+        self._chunk_replicas[new_id] = list(replicas)
         self._chunk_refs[new_id] = 1
+        self._chunk_files[new_id] = {name}
+        files = self._chunk_files.get(old_id)
+        if files is not None:
+            files.discard(name)
         meta.chunk_ids[index] = new_id
         self._chunk_refs[old_id] -= 1
         meta.generation += 1
         self.metrics.add("store.manager.cow_chunks")
-        return old_id, new_id, owner
+        if len(replicas) < self.replication:
+            self.metrics.add("store.manager.chunks_degraded")
+            self._degraded.append(new_id)
+            self._wake_rereplicator()
+        return old_id, new_id, replicas[0]
 
     def __repr__(self) -> str:
         return (

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 
-from repro.errors import StoreError
+from repro.errors import ReplicationError, StoreError
 from repro.store.benefactor import Benefactor
 
 
@@ -26,6 +26,61 @@ class StripingPolicy(abc.ABC):
         client: str,
     ) -> list[Benefactor]:
         """A benefactor per chunk index, honouring available space."""
+
+    def place_replicas(
+        self,
+        benefactors: list[Benefactor],
+        num_chunks: int,
+        chunk_size: int,
+        client: str,
+        replication: int = 2,
+    ) -> list[list[Benefactor]]:
+        """Replica groups per chunk index: ``replication`` *distinct*
+        benefactors each, the policy-preferred one first.
+
+        Capacity is accounted per replica — every copy of a chunk debits
+        its benefactor's budget.  ``replication=1`` degenerates to
+        exactly :meth:`place` (the seed's bit-identical behaviour).
+        """
+        if replication <= 1:
+            return [[b] for b in self.place(benefactors, num_chunks, chunk_size, client)]
+        online = [b for b in benefactors if b.online]
+        if len(online) < replication:
+            raise ReplicationError(
+                f"replication={replication} needs that many distinct online "
+                f"benefactors, only {len(online)} available"
+            )
+        primaries = self.place(benefactors, num_chunks, chunk_size, client)
+        budgets = {b.name: b.available // chunk_size for b in online}
+        placement: list[list[Benefactor]] = []
+        cursor = 0
+        for primary in primaries:
+            if budgets[primary.name] <= 0:
+                raise ReplicationError(
+                    f"aggregate store full: no room for primary of chunk "
+                    f"{len(placement)} once replicas are accounted"
+                )
+            budgets[primary.name] -= 1
+            replicas = [primary]
+            chosen = {primary.name}
+            for _ in range(replication - 1):
+                for _attempt in range(len(online)):
+                    candidate = online[cursor % len(online)]
+                    cursor += 1
+                    if candidate.name in chosen or budgets[candidate.name] <= 0:
+                        continue
+                    budgets[candidate.name] -= 1
+                    replicas.append(candidate)
+                    chosen.add(candidate.name)
+                    break
+                else:
+                    raise ReplicationError(
+                        f"aggregate store full: cannot place replica "
+                        f"{len(replicas)} of chunk {len(placement)} "
+                        f"({num_chunks} chunks at replication={replication})"
+                    )
+            placement.append(replicas)
+        return placement
 
 
 def _spread(

@@ -1,0 +1,374 @@
+"""Fault tolerance: replication, failover, re-replication, data loss."""
+
+import pytest
+
+from repro.errors import (
+    BenefactorDownError,
+    CheckpointError,
+    ChunkUnavailableError,
+    ReplicationError,
+    StoreError,
+)
+from repro.faults import BenefactorCrash, FaultPlan, TransientSlowdown
+from repro.store import CHUNK_SIZE, Benefactor, Manager, StoreClient
+from repro.util.units import MiB
+from tests.conftest import run
+
+
+@pytest.fixture
+def rstore(small_cluster):
+    """Replicated aggregate store (r=2) over the 4-node cluster."""
+    manager = Manager(small_cluster.node(0), replication=2)
+    for node in small_cluster.nodes:
+        manager.register_benefactor(Benefactor(node, contribution=16 * MiB))
+    return manager
+
+
+@pytest.fixture
+def rclient(small_cluster, rstore):
+    return StoreClient(small_cluster.node(1), rstore)
+
+
+class TestReplicatedPlacement:
+    def test_replicas_distinct_and_accounted(self, engine, rstore, rclient):
+        def proc():
+            return (yield from rclient.create("/f", 4 * CHUNK_SIZE))
+
+        meta = run(engine, proc())
+        for chunk_id in meta.chunk_ids:
+            replicas = rstore.chunk_replicas(chunk_id)
+            assert len(replicas) == 2
+            assert len({b.name for b in replicas}) == 2
+        # Capacity is accounted per replica: every copy debits its host.
+        reserved = sum(b.reserved for b in rstore.benefactors())
+        assert reserved == 2 * 4 * CHUNK_SIZE
+
+    def test_r1_is_single_replica(self, engine, store, client):
+        def proc():
+            return (yield from client.create("/f", 2 * CHUNK_SIZE))
+
+        meta = run(engine, proc())
+        for chunk_id in meta.chunk_ids:
+            assert len(store.chunk_replicas(chunk_id)) == 1
+        assert sum(b.reserved for b in store.benefactors()) == 2 * CHUNK_SIZE
+
+    def test_too_few_benefactors_rejected(self, engine, small_cluster):
+        manager = Manager(small_cluster.node(0), replication=2)
+        manager.register_benefactor(
+            Benefactor(small_cluster.node(0), contribution=16 * MiB)
+        )
+        client = StoreClient(small_cluster.node(1), manager)
+
+        def proc():
+            yield from client.create("/f", CHUNK_SIZE)
+
+        with pytest.raises(ReplicationError):
+            run(engine, proc())
+
+    def test_bad_replication_degree_rejected(self, small_cluster):
+        with pytest.raises(StoreError):
+            Manager(small_cluster.node(0), replication=0)
+
+
+class TestFailover:
+    def test_read_fails_over_to_surviving_replica(
+        self, engine, small_cluster, rstore, rclient
+    ):
+        payload = b"replicated bytes" * 512
+
+        def proc():
+            yield from rclient.create("/f", CHUNK_SIZE)
+            yield from rclient.write("/f", 0, payload)
+            _, preferred = rstore.resolve_chunk("/f", 0, client="node001")
+            preferred.crash()
+            return (yield from rclient.read("/f", 0, len(payload)))
+
+        assert run(engine, proc()) == payload
+        metrics = small_cluster.metrics
+        assert metrics.count("store.client.retries") >= 1
+        # The failure report forfeited the crashed benefactor's space.
+        crashed = [b for b in rstore.benefactors() if b.crashed]
+        assert crashed and all(b.reserved == 0 for b in crashed)
+
+    def test_write_fails_over_and_data_survives(
+        self, engine, rstore, rclient
+    ):
+        payload = b"written after crash" * 256
+
+        def proc():
+            yield from rclient.create("/f", CHUNK_SIZE)
+            chunk_id = rstore.lookup("/f").chunk_ids[0]
+            rstore.chunk_replicas(chunk_id)[0].crash()
+            yield from rclient.write("/f", 64, payload)
+            return (yield from rclient.read("/f", 64, len(payload)))
+
+        assert run(engine, proc()) == payload
+
+    def test_r1_crash_raises_chunk_unavailable(self, engine, store, client):
+        def proc():
+            yield from client.create("/f", CHUNK_SIZE)
+            yield from client.write("/f", 0, b"doomed")
+            _, owner = store.resolve_chunk("/f", 0)
+            owner.crash()
+            yield from client.read("/f", 0, 6)
+
+        with pytest.raises(ChunkUnavailableError):
+            run(engine, proc())
+        assert store.metrics.value("store.manager.chunks_lost") >= 1
+
+    def test_admin_offline_keeps_reservations_and_data(
+        self, engine, store, client
+    ):
+        def proc():
+            yield from client.create("/f", CHUNK_SIZE)
+            yield from client.write("/f", 0, b"still here")
+            return store.resolve_chunk("/f", 0)
+
+        _, owner = run(engine, proc())
+        reserved = owner.reserved
+        store.mark_offline(owner.name)  # administrative: not crashed
+        assert owner.reserved == reserved
+        with pytest.raises(BenefactorDownError):
+            store.resolve_chunk("/f", 0)
+        store.mark_online(owner.name)
+        store.resolve_chunk("/f", 0)
+
+        def readback():
+            return (yield from client.read("/f", 0, 10))
+
+        assert run(engine, readback()) == b"still here"
+
+
+class TestRereplication:
+    def _crash_and_detect(self, engine, rstore, victim):
+        victim.crash()
+
+        def detect():
+            return (yield from rstore.monitor(0.01, rounds=1))
+
+        assert run(engine, detect()) == 1
+
+    def test_degree_restored_with_reservations_moved(
+        self, engine, rstore, rclient
+    ):
+        def proc():
+            yield from rclient.create("/f", 4 * CHUNK_SIZE)
+            yield from rclient.write("/f", 0, b"x" * 4 * CHUNK_SIZE)
+
+        run(engine, proc())
+        meta = rstore.lookup("/f")
+        victim = rstore.chunk_replicas(meta.chunk_ids[0])[0]
+        held = victim.reserved
+        assert held > 0
+        self._crash_and_detect(engine, rstore, victim)
+        assert victim.reserved == 0  # forfeited space released
+
+        def repair():
+            return (yield from rstore.rereplicate_pending())
+
+        repaired = run(engine, repair())
+        assert repaired == held // CHUNK_SIZE
+        assert rstore.under_replicated() == ()
+        assert rstore.rereplication_pending == 0
+        for chunk_id in meta.chunk_ids:
+            replicas = rstore.chunk_replicas(chunk_id)
+            assert len(replicas) == 2
+            assert victim not in replicas
+        # The re-replication targets now hold the moved reservations.
+        live_reserved = sum(b.reserved for b in rstore.benefactors())
+        assert live_reserved == 2 * 4 * CHUNK_SIZE
+        metrics = rstore.metrics
+        assert metrics.value("store.manager.chunks_rereplicated") == repaired
+        assert metrics.value("store.manager.rereplication_bytes") > 0
+
+    def test_repaired_replica_serves_reads(self, engine, rstore, rclient):
+        payload = b"survives two crashes" * 128
+
+        def proc():
+            yield from rclient.create("/f", CHUNK_SIZE)
+            yield from rclient.write("/f", 0, payload)
+
+        run(engine, proc())
+        chunk_id = rstore.lookup("/f").chunk_ids[0]
+        original = set(rstore.chunk_replicas(chunk_id))
+        self._crash_and_detect(engine, rstore, rstore.chunk_replicas(chunk_id)[0])
+
+        def repair():
+            yield from rstore.rereplicate_pending()
+
+        run(engine, repair())
+        # Kill the surviving original too: only the repaired copy remains.
+        survivor = next(
+            b for b in rstore.chunk_replicas(chunk_id) if b in original
+        )
+        self._crash_and_detect(engine, rstore, survivor)
+
+        def readback():
+            return (yield from rclient.read("/f", 0, len(payload)))
+
+        assert run(engine, readback()) == payload
+
+    def test_write_during_fill_not_clobbered(self, engine, small_cluster):
+        b = Benefactor(small_cluster.node(0), contribution=1 * MiB)
+        snapshot = bytes([7]) * CHUNK_SIZE
+
+        def proc():
+            b.begin_fill(1)
+            # A write-through lands while the bulk copy is in flight...
+            yield from b.store_chunk("node001", 1, b"NEW!", offset=0)
+            # ...then the copy's (stale at [0, 4)) snapshot arrives.
+            yield from b.complete_fill(1, snapshot)
+            return (yield from b.fetch_chunk("node001", 1, 0, 8))
+
+        assert run(engine, proc()) == b"NEW!" + bytes([7]) * 4
+
+    def test_no_target_stalls_until_capacity_returns(
+        self, engine, small_cluster
+    ):
+        # Two benefactors, r=2: a crash leaves no fresh target.
+        manager = Manager(small_cluster.node(0), replication=2)
+        for node in small_cluster.nodes[:2]:
+            manager.register_benefactor(Benefactor(node, contribution=16 * MiB))
+        client = StoreClient(small_cluster.node(1), manager)
+
+        def proc():
+            yield from client.create("/f", CHUNK_SIZE)
+            yield from client.write("/f", 0, b"parked")
+
+        run(engine, proc())
+        victim = manager.benefactors()[0]
+        victim.crash()
+
+        def detect_and_drain():
+            yield from manager.monitor(0.01, rounds=1)
+            yield from manager.rereplicate_pending()
+
+        run(engine, detect_and_drain())
+        assert manager.rereplication_stalled == 1
+        assert manager.under_replicated() != ()
+        # Capacity returns: a fresh benefactor re-queues the stalled chunk.
+        manager.register_benefactor(
+            Benefactor(small_cluster.node(2), contribution=16 * MiB)
+        )
+
+        def drain():
+            yield from manager.rereplicate_pending()
+
+        run(engine, drain())
+        assert manager.rereplication_stalled == 0
+        assert manager.under_replicated() == ()
+
+
+class TestCheckpointUnderFaults:
+    def test_lost_chunk_fails_checkpoint_with_lost_set(
+        self, engine, small_cluster, store, nvmalloc
+    ):
+        def alloc():
+            return (yield from nvmalloc.ssdmalloc(2 * CHUNK_SIZE, owner="t"))
+
+        variable = run(engine, alloc())
+        chunk_id = store.lookup(variable.backing_path).chunk_ids[0]
+        owner = store.chunk_replicas(chunk_id)[0]
+        owner.crash()
+        store.mark_offline(owner.name)  # r=1: chunk is now lost
+        assert chunk_id in store.lost_chunks(variable.backing_path)
+
+        def ckpt():
+            yield from nvmalloc.ssdcheckpoint("app", 0, b"d", [("v", variable)])
+
+        with pytest.raises(CheckpointError) as excinfo:
+            run(engine, ckpt())
+        assert chunk_id in excinfo.value.lost_chunks
+
+    def test_degraded_but_readable_checkpoint_succeeds(
+        self, engine, small_cluster, rstore
+    ):
+        from repro.core import NVMalloc
+        from repro.util.units import KiB
+
+        lib = NVMalloc(
+            small_cluster.node(1),
+            rstore,
+            fuse_cache_bytes=1 * MiB,
+            page_cache_bytes=512 * KiB,
+        )
+
+        def proc():
+            variable = yield from lib.ssdmalloc(CHUNK_SIZE, owner="t")
+            yield from variable.write(0, b"degraded but alive")
+            chunk_id = rstore.lookup(variable.backing_path).chunk_ids[0]
+            rstore.chunk_replicas(chunk_id)[0].crash()
+            yield from rstore.monitor(0.01, rounds=1)
+            record = yield from lib.ssdcheckpoint(
+                "app", 0, b"d", [("v", variable)]
+            )
+            dram, variables = yield from lib.restore("app", 0)
+            return record, dram, variables["v"][:18]
+
+        record, dram, head = run(engine, proc())
+        assert dram == b"d"
+        assert head == b"degraded but alive"
+        assert record.bytes_linked == CHUNK_SIZE
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        names = ["node000", "node001", "node002", "node003"]
+        one = FaultPlan.seeded(42, names, crashes=2, slowdowns=1)
+        two = FaultPlan.seeded(42, names, crashes=2, slowdowns=1)
+        assert one == two
+        crash_victims = [
+            e.benefactor for e in one.events if isinstance(e, BenefactorCrash)
+        ]
+        assert len(set(crash_victims)) == 2  # without replacement
+        for event in one.events:
+            assert 0.25 <= event.at <= 1.0  # default window
+
+    def test_too_many_crashes_rejected(self):
+        with pytest.raises(StoreError):
+            FaultPlan.seeded(1, ["a"], crashes=2)
+
+    def test_inject_applies_at_virtual_times(self, engine, store):
+        victim = store.benefactors()[2]
+        slowed = store.benefactors()[3]
+        plan = FaultPlan(
+            events=(
+                BenefactorCrash(at=0.5, benefactor=victim.name),
+                TransientSlowdown(
+                    at=0.2, benefactor=slowed.name,
+                    duration=0.3, extra_per_op=0.01,
+                ),
+            )
+        )
+        engine.process(plan.inject(store))
+
+        def probe():
+            yield engine.timeout(0.4)
+            assert not victim.crashed  # crash is at 0.5, not yet
+            assert slowed._slow_until == pytest.approx(0.5)
+            yield engine.timeout(0.2)
+            assert victim.crashed
+
+        run(engine, probe())
+
+    def test_inject_unknown_benefactor_rejected(self, engine, store):
+        plan = FaultPlan(events=(BenefactorCrash(at=0.1, benefactor="ghost"),))
+        with pytest.raises(StoreError):
+            run(engine, plan.inject(store))
+
+    def test_slowdown_charges_extra_time(self, engine, small_cluster):
+        b = Benefactor(small_cluster.node(0), contribution=1 * MiB)
+
+        def proc():
+            yield from b.store_chunk("node001", 1, b"x" * 4096)
+            b.slow_down(engine.now + 1.0, 0.25)
+            before = engine.now
+            yield from b.fetch_chunk("node001", 1, 0, 4096)
+            slow = engine.now - before
+            yield engine.timeout(1.0)  # slowdown expired
+            before = engine.now
+            yield from b.fetch_chunk("node001", 1, 0, 4096)
+            return slow, engine.now - before
+
+        slow, fast = run(engine, proc())
+        assert slow - fast == pytest.approx(0.25)

@@ -1,0 +1,99 @@
+"""Manager heartbeat monitoring: detection, accounting, network charges."""
+
+from repro.store import Benefactor
+from repro.util.units import MiB
+from tests.conftest import run
+
+
+class TestMonitorRounds:
+    def test_bounded_rounds_report_marked_count(self, engine, store):
+        store.benefactors()[1].crash()
+        store.benefactors()[3].crash()
+
+        def proc():
+            return (yield from store.monitor(0.01, rounds=1))
+
+        assert run(engine, proc()) == 2
+        online = [b for b in store.benefactors() if b.online]
+        assert len(online) == 2
+
+    def test_healthy_fleet_marks_nothing(self, engine, store):
+        def proc():
+            return (yield from store.monitor(0.01, rounds=3))
+
+        assert run(engine, proc()) == 0
+        assert all(b.online for b in store.benefactors())
+
+
+class TestDetectionLatency:
+    def test_detection_within_one_interval(self, engine, store):
+        victim = store.benefactors()[1]
+
+        def crasher():
+            yield engine.timeout(0.25)
+            victim.crash()
+
+        engine.process(crasher())
+        engine.process(store.monitor(0.1, rounds=None))
+
+        def probe():
+            # Crash lands at 0.25, between the 0.2 and 0.3 heartbeats:
+            # at 0.29 the store still believes the benefactor is up...
+            yield engine.timeout(0.29)
+            assert victim.crashed and victim.online
+            # ...and by 0.35 the 0.3 heartbeat has taken it offline.
+            yield engine.timeout(0.06)
+            assert not victim.online
+
+        run(engine, probe())
+
+
+class TestMonitorNetworkCharges:
+    def test_crashed_benefactor_never_replies(
+        self, engine, small_cluster, store
+    ):
+        metrics = small_cluster.metrics
+        # node002 hosts only a benefactor (manager lives on node000, so
+        # its own pings are same-endpoint and free).
+        victim = next(b for b in store.benefactors() if b.name == "node002")
+        victim.crash()
+
+        def one_round():
+            return (yield from store.monitor(0.01, rounds=1))
+
+        assert run(engine, one_round()) == 1
+        rx = metrics.value("network.node002.rx.bytes")
+        assert rx == 256  # the ping arrived...
+        assert metrics.value("network.node002.tx.bytes") == 0  # ...no reply
+
+        # Out-of-service benefactors are skipped in later rounds: no
+        # further ping traffic to a node already marked down.
+        assert run(engine, one_round()) == 0
+        assert metrics.value("network.node002.rx.bytes") == rx
+
+    def test_healthy_benefactor_ping_pong(self, engine, small_cluster, store):
+        metrics = small_cluster.metrics
+
+        def one_round():
+            return (yield from store.monitor(0.01, rounds=1))
+
+        run(engine, one_round())
+        assert metrics.value("network.node002.rx.bytes") == 256
+        assert metrics.value("network.node002.tx.bytes") == 256
+
+
+class TestSkipRegisteredOffline:
+    def test_admin_offline_is_not_pinged(self, engine, small_cluster):
+        from repro.store import Manager
+
+        manager = Manager(small_cluster.node(0))
+        for node in small_cluster.nodes:
+            manager.register_benefactor(Benefactor(node, contribution=16 * MiB))
+        manager.mark_offline("node003")
+        metrics = small_cluster.metrics
+
+        def one_round():
+            return (yield from manager.monitor(0.01, rounds=1))
+
+        assert run(engine, one_round()) == 0
+        assert metrics.value("network.node003.rx.bytes") == 0
