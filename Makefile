@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test test-faults bench bench-wallclock profile experiments experiments-par examples clean
+.PHONY: install test test-faults test-obs bench bench-wallclock profile trace experiments experiments-par examples clean
 
 install:
 	pip install -e .
@@ -23,6 +23,17 @@ bench-wallclock:
 
 profile:
 	PYTHONPATH=src python tools/profile_stack.py --limit 25
+
+# The tracing-identity gate (excluded from `make test` by the "not obs"
+# marker expression; CI runs it in the dedicated tracing job).
+test-obs:
+	PYTHONPATH=src pytest -m obs
+
+# Trace the faults experiment on the virtual clock and export a Chrome
+# trace (open trace.json in chrome://tracing or https://ui.perfetto.dev).
+trace:
+	PYTHONPATH=src python -m repro.experiments faults --scale tiny \
+		--trace --trace-out trace.json
 
 experiments:
 	python -m repro.experiments

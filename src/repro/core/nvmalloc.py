@@ -113,6 +113,28 @@ class NVMalloc:
         private: bool = False,
         persistent_name: str | None = None,
     ) -> Generator[Event, object, NVMVariable]:
+        """Dispatch :meth:`_ssdmalloc_impl`, spanned when tracing is on."""
+        gen = self._ssdmalloc_impl(
+            nbytes,
+            owner=owner,
+            shared_key=shared_key,
+            private=private,
+            persistent_name=persistent_name,
+        )
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap("nvmalloc", "ssdmalloc", gen, bytes=nbytes)
+
+    def _ssdmalloc_impl(
+        self,
+        nbytes: int,
+        *,
+        owner: str = "app",
+        shared_key: str | None = None,
+        private: bool = False,
+        persistent_name: str | None = None,
+    ) -> Generator[Event, object, NVMVariable]:
         """Allocate ``nbytes`` from the aggregate NVM store.
 
         Creates (or, for an existing ``shared_key``, opens) an internal
@@ -286,6 +308,26 @@ class NVMalloc:
         *,
         layout: Sequence[str] | None = None,
     ) -> Generator[Event, object, CheckpointRecord]:
+        """Dispatch :meth:`_ssdcheckpoint_impl`, spanned when tracing is on."""
+        gen = self._ssdcheckpoint_impl(
+            tag, timestep, dram_state, variables, layout=layout
+        )
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "nvmalloc", "ssdcheckpoint", gen, tag=tag, timestep=timestep
+        )
+
+    def _ssdcheckpoint_impl(
+        self,
+        tag: str,
+        timestep: int,
+        dram_state: bytes,
+        variables: Sequence[tuple[str, NVMVariable]] = (),
+        *,
+        layout: Sequence[str] | None = None,
+    ) -> Generator[Event, object, CheckpointRecord]:
         """Checkpoint DRAM state and NVM variables into one restart file.
 
         The DRAM image is physically written to the store; each variable
@@ -387,6 +429,18 @@ class NVMalloc:
             raise CheckpointError(f"no checkpoint {tag}@{timestep}") from None
 
     def restore(
+        self, tag: str, timestep: int
+    ) -> Generator[Event, object, tuple[bytes, dict[str, bytes]]]:
+        """Dispatch :meth:`_restore_impl`, spanned when tracing is on."""
+        gen = self._restore_impl(tag, timestep)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "nvmalloc", "restore", gen, tag=tag, timestep=timestep
+        )
+
+    def _restore_impl(
         self, tag: str, timestep: int
     ) -> Generator[Event, object, tuple[bytes, dict[str, bytes]]]:
         """Read a checkpoint back: ``(dram_state, {label: variable_bytes})``.

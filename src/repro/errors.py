@@ -113,3 +113,7 @@ class CheckpointError(NVMallocError):
 
 class CommError(ReproError):
     """Errors raised by the simulated MPI layer."""
+
+
+class MetricsError(ReproError):
+    """Misuse of the metrics layer (e.g. reading an empty time series)."""

@@ -7,6 +7,7 @@ Regenerate any (or all) of the paper's tables and figures::
     python -m repro.experiments --jobs 4        # fan across 4 processes
     python -m repro.experiments --scale tiny    # quick structural pass
     python -m repro.experiments --no-cache      # force recompute
+    python -m repro.experiments faults --trace --trace-out trace.json
     python -m repro.experiments --json out.json # machine-readable telemetry
     python -m repro.experiments --list
 
@@ -136,9 +137,31 @@ def main(argv: list[str] | None = None) -> int:
              "fail on any mismatch (caching disabled)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="trace runs on the virtual clock (forces --jobs 1 and "
+             "--no-cache; adds a 'where the time went' section per report)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="OUT.json",
+        help="with --trace: also write a Chrome trace_event JSON "
+             "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
     args = parser.parse_args(argv)
+
+    if args.trace_out and not args.trace:
+        parser.error("--trace-out requires --trace")
+    if args.trace:
+        # Spans live on in-process tracers and are not picklable, so a
+        # traced run is serial; a cache hit would replay a span-less
+        # report, so the cache is off too.
+        from repro import obs
+
+        obs.enable(True)
+        args.jobs = 1
+        args.no_cache = True
 
     if args.list:
         for name, (_, description) in EXPERIMENTS.items():
@@ -177,6 +200,12 @@ def main(argv: list[str] | None = None) -> int:
     _print_summary(result, args.jobs)
     if args.json:
         _write_json(args.json, result, scale.name, args.jobs)
+    if args.trace_out:
+        from repro import obs
+        from repro.obs.export import write_chrome_trace
+
+        events = write_chrome_trace(args.trace_out, obs.collected())
+        print(f"wrote {events} trace events to {args.trace_out}")
     return 0 if not result.failed else 1
 
 

@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.experiments.configs import ExperimentScale
 from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
@@ -132,6 +133,16 @@ def execute_experiment(
             for key, value in testbed.cluster.metrics.snapshot(prefix).items():
                 counters[key] = counters.get(key, 0.0) + value
     report.counters = counters
+    if obs.enabled():
+        for i, testbed in enumerate(tracker.testbeds):
+            tracer = testbed.engine.tracer
+            if tracer is None or not tracer.spans:
+                continue
+            label = f"{name}/testbed{i}"
+            obs.collect(label, tracer)
+            if report.trace_lines:
+                report.trace_lines.append("")
+            report.trace_lines.extend(obs.report_lines(label, tracer))
     return report, len(tracker.testbeds)
 
 

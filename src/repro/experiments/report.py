@@ -27,6 +27,10 @@ class ExperimentReport:
     #: Aggregate byte-flow counters of every testbed the driver built,
     #: filled in by the orchestrator (`repro.experiments.parallel`).
     counters: dict[str, float] = field(default_factory=dict)
+    #: "Where the time went": critical-path + latency tables harvested
+    #: from tracers when the run executed with --trace.  Excluded from
+    #: :meth:`digest` so tracing can never change a result's identity.
+    trace_lines: list[str] = field(default_factory=list)
 
     def add_row(self, *cells: object) -> None:
         """Append one table row."""
@@ -81,6 +85,7 @@ class ExperimentReport:
             "cache_lines": list(self.cache_lines),
             "verified": self.verified,
             "counters": dict(self.counters),
+            "trace_lines": list(self.trace_lines),
         }
 
     @classmethod
@@ -100,6 +105,7 @@ class ExperimentReport:
             cache_lines=list(payload["cache_lines"]),
             verified=bool(payload["verified"]),
             counters=dict(payload["counters"]),
+            trace_lines=list(payload.get("trace_lines", [])),
         )
 
     def digest(self) -> str:
@@ -113,9 +119,11 @@ class ExperimentReport:
         float-repr round-trip guarantee keeps it exact across a
         serialize/deserialize cycle.
         """
-        blob = json.dumps(
-            self.to_payload(), sort_keys=True, separators=(",", ":")
-        )
+        payload = self.to_payload()
+        # Trace output is presentation, not result: a traced and an
+        # untraced run of the same experiment must share one digest.
+        payload.pop("trace_lines", None)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def render(self) -> str:
@@ -137,6 +145,11 @@ class ExperimentReport:
             for paper, measured in zip(self.paper_claims, self.measured_claims):
                 lines.append(f"  paper:    {paper}")
                 lines.append(f"  measured: {measured}")
+        if self.trace_lines:
+            lines.append("")
+            lines.append("where the time went:")
+            for trace_line in self.trace_lines:
+                lines.append(f"  {trace_line}")
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

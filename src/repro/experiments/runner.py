@@ -9,6 +9,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.cluster.hal import make_hal_cluster
 from repro.experiments.configs import ExperimentScale
@@ -59,6 +60,9 @@ class Testbed:
             tracker.testbeds.append(self)
         self.scale = scale
         self.engine = Engine()
+        # None unless tracing is on, which keeps every instrumented call
+        # site on its raw fast path.
+        self.engine.tracer = obs.new_tracer_if_enabled(self.engine)
         self.cluster: Cluster = make_hal_cluster(self.engine, scale.hal_config())
         self.pfs = ParallelFileSystem(
             self.engine,

@@ -218,6 +218,12 @@ class ChunkCache:
             if ibucket is None:
                 ibucket = self._inflight_by_path[vpath] = {}
             ibucket[vindex] = done
+            tracer = self._engine.tracer
+            span = (
+                tracer.begin("fuse", "evict_writeback", path=vpath, index=vindex)
+                if tracer is not None
+                else None
+            )
             try:
                 # Inlined _writeback (which flush_path/flush_all still
                 # use): every event of every eviction write-back resumes
@@ -264,11 +270,25 @@ class ChunkCache:
                 if not ibucket:
                     del self._inflight_by_path[vpath]
                 done.succeed(None)
+                if span is not None:
+                    tracer.end(span)
             self.stats.evictions += 1
             if was_dirty:
                 self.stats.dirty_evictions += 1
 
     def _writeback(
+        self, key: tuple[str, int], entry: _Entry
+    ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_writeback_impl`, spanned when tracing is on."""
+        gen = self._writeback_impl(key, entry)
+        tracer = self._engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "fuse", "writeback", gen, path=key[0], index=key[1]
+        )
+
+    def _writeback_impl(
         self, key: tuple[str, int], entry: _Entry
     ) -> Generator[Event, object, None]:
         # Wait out an in-flight fill: its merge must see the dirty
@@ -393,6 +413,19 @@ class ChunkCache:
             return entry
 
     def _fill(
+        self, path: str, index: int, entry: _Entry, *, prefetch: bool = False
+    ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_fill_impl`, spanned when tracing is on."""
+        gen = self._fill_impl(path, index, entry, prefetch=prefetch)
+        tracer = self._engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "fuse", "fetch_chunk", gen,
+            path=path, index=index, prefetch=prefetch,
+        )
+
+    def _fill_impl(
         self, path: str, index: int, entry: _Entry, *, prefetch: bool = False
     ) -> Generator[Event, object, None]:
         entry.filling = Event(self._engine)

@@ -99,8 +99,13 @@ class MmapRegion:
         counter.count += 1
         file_off = self.offset + offset
         if not self._private:
-            return self.pagecache.read(self.path, file_off, length)
-        return self._read_overlaid(file_off, length)
+            gen = self.pagecache.read(self.path, file_off, length)
+        else:
+            gen = self._read_overlaid(file_off, length)
+        tracer = self.pagecache._engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap("mmap", "read", gen, path=self.path, bytes=length)
 
     def _read_overlaid(
         self, file_off: int, length: int
@@ -167,8 +172,13 @@ class MmapRegion:
         counter.count += 1
         file_off = self.offset + offset
         if self.shared:
-            return self.pagecache.write(self.path, file_off, data)
-        return self._write_private(file_off, data)
+            gen = self.pagecache.write(self.path, file_off, data)
+        else:
+            gen = self._write_private(file_off, data)
+        tracer = self.pagecache._engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap("mmap", "write", gen, path=self.path, bytes=len(data))
 
     def _write_private(
         self, file_off: int, data: bytes

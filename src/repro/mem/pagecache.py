@@ -261,6 +261,19 @@ class PageCache:
     def _fault_range(
         self, path: str, first_page: int, last_page: int
     ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_fault_range_impl`, spanned when tracing is on."""
+        gen = self._fault_range_impl(path, first_page, last_page)
+        tracer = self._engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "pagecache", "fault", gen,
+            path=path, pages=last_page - first_page + 1,
+        )
+
+    def _fault_range_impl(
+        self, path: str, first_page: int, last_page: int
+    ) -> Generator[Event, object, None]:
         """Fault pages ``first_page..last_page`` (inclusive) in from FUSE.
 
         Contiguous missing pages are requested as one FUSE read per chunk
@@ -557,6 +570,14 @@ class PageCache:
             yield next(iter(bucket.values()))
 
     def sync_path(self, path: str) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_sync_path_impl`, spanned when tracing is on."""
+        gen = self._sync_path_impl(path)
+        tracer = self._engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap("pagecache", "sync", gen, path=path)
+
+    def _sync_path_impl(self, path: str) -> Generator[Event, object, None]:
         """Flush all dirty pages of ``path`` to FUSE (msync).
 
         Runs of LRU-consecutive, file-contiguous full dirty pages inside

@@ -58,6 +58,22 @@ class Network:
     def transfer(
         self, src: str, dst: str, nbytes: int
     ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_transfer_impl`, spanned when tracing is on.
+
+        Node-local transfers (``src == dst``) are never spanned: they
+        involve no network and yield no events.
+        """
+        gen = self._transfer_impl(src, dst, nbytes)
+        tracer = self.engine.tracer
+        if tracer is None or src == dst:
+            return gen
+        return tracer.wrap(
+            "net", "transfer", gen, src=src, dst=dst, bytes=nbytes
+        )
+
+    def _transfer_impl(
+        self, src: str, dst: str, nbytes: int
+    ) -> Generator[Event, object, None]:
         """Process generator: move ``nbytes`` from ``src`` to ``dst``.
 
         Ports are acquired TX-then-RX (a fixed global order, so concurrent

@@ -73,6 +73,24 @@ class Communicator:
     def send(
         self, data: object, *, src: int, dest: int, tag: int = 0
     ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_send_impl`, spanned when tracing is on.
+
+        The send span is queued as the flow source for the matching
+        receive (inbox channels are FIFO per ``(src, dest, tag)``, so
+        sender and receiver spans pair deterministically).
+        """
+        gen = self._send_impl(data, src=src, dest=dest, tag=tag)
+        tracer = self.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap_send(
+            "comm", "send", gen, (src, dest, tag),
+            src=src, dest=dest, tag=tag, bytes=payload_bytes(data),
+        )
+
+    def _send_impl(
+        self, data: object, *, src: int, dest: int, tag: int = 0
+    ) -> Generator[Event, object, None]:
         """Blocking-send semantics: returns once the payload is delivered."""
         nodes = self.nodes
         size = len(nodes)
@@ -105,6 +123,20 @@ class Communicator:
         self._inbox(src, dest, tag).put(data)
 
     def recv(
+        self, *, source: int, dst: int, tag: int = 0
+    ) -> Generator[Event, object, object]:
+        """Dispatch :meth:`_recv_impl`; a traced receive links the
+        matching send span into its args (``link_trace``/``link_span``)."""
+        gen = self._recv_impl(source=source, dst=dst, tag=tag)
+        tracer = self.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap_recv(
+            "comm", "recv", gen, (source, dst, tag),
+            src=source, dest=dst, tag=tag,
+        )
+
+    def _recv_impl(
         self, *, source: int, dst: int, tag: int = 0
     ) -> Generator[Event, object, object]:
         """Receive the next message from ``source``."""

@@ -52,7 +52,7 @@ class Engine:
 
     __slots__ = (
         "_now", "_heap", "_ring", "_seq", "_events",
-        "_timeout_pool", "_request_pool", "_active_processes",
+        "_timeout_pool", "_request_pool", "_active_processes", "tracer",
     )
 
     def __init__(self) -> None:
@@ -64,6 +64,10 @@ class Engine:
         self._timeout_pool: list[Timeout] = []
         self._request_pool: list[Event] = []
         self._active_processes = 0
+        # Optional repro.obs.Tracer.  None (the default) keeps every
+        # instrumented call site on its raw fast path; spans only read
+        # the clock, so attaching one never perturbs virtual results.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @property

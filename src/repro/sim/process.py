@@ -22,7 +22,7 @@ class Process(Event):
     processes can wait on each other by yielding them.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name", "_resume_cb")
+    __slots__ = ("_generator", "_waiting_on", "name", "_resume_cb", "_trace_stack")
 
     def __init__(
         self,
@@ -45,7 +45,17 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         # One bound method for the process's whole life: registering the
         # resume callback happens on every yield, and binding allocates.
-        self._resume_cb = resume = self._resume
+        # With a tracer attached, the traced variant swaps the tracer's
+        # active span stack to this process's around every resume, and
+        # the creator's innermost open span is forked as the base parent
+        # of everything this process records (context propagation).
+        tracer = engine.tracer
+        if tracer is None:
+            self._resume_cb = resume = self._resume
+        else:
+            active = tracer._active
+            self._trace_stack = [active[-1]] if active else []
+            self._resume_cb = resume = self._traced_resume
         # Kick off at the current simulation time: a pre-triggered
         # single-callback event straight onto the now ring.
         bootstrap = Event(engine)
@@ -84,6 +94,20 @@ class Process(Event):
         poke.add_callback(resume)
 
     # ------------------------------------------------------------------
+    def _traced_resume(self, event: Event) -> None:
+        """Resume under this process's span stack (tracing enabled only).
+
+        Save/restore keeps nesting correct even when resuming this
+        process synchronously creates and resumes others.
+        """
+        tracer = self.engine.tracer
+        saved = tracer._active
+        tracer._active = self._trace_stack
+        try:
+            self._resume(event)
+        finally:
+            tracer._active = saved
+
     def _resume(self, event: Event) -> None:
         # The hottest loop of the whole simulator: one iteration per yield
         # of every process.  An already-processed event is consumed

@@ -164,6 +164,19 @@ class Benefactor:
     def store_chunk(
         self, client: str, chunk_id: int, data: bytes, offset: int = 0
     ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_store_chunk_impl`, spanned when tracing is on."""
+        gen = self._store_chunk_impl(client, chunk_id, data, offset)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "benefactor", "store_chunk", gen,
+            benefactor=self.name, chunk=chunk_id, bytes=len(data),
+        )
+
+    def _store_chunk_impl(
+        self, client: str, chunk_id: int, data: bytes, offset: int = 0
+    ) -> Generator[Event, object, None]:
         """Receive ``data`` from ``client`` and write it at ``offset``
         within the chunk.
 
@@ -211,6 +224,19 @@ class Benefactor:
         counter.count += 1
 
     def fetch_chunk(
+        self, client: str, chunk_id: int, offset: int = 0, length: int | None = None
+    ) -> Generator[Event, object, bytearray]:
+        """Dispatch :meth:`_fetch_chunk_impl`, spanned when tracing is on."""
+        gen = self._fetch_chunk_impl(client, chunk_id, offset, length)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "benefactor", "fetch_chunk", gen,
+            benefactor=self.name, chunk=chunk_id,
+        )
+
+    def _fetch_chunk_impl(
         self, client: str, chunk_id: int, offset: int = 0, length: int | None = None
     ) -> Generator[Event, object, bytearray]:
         """Read chunk bytes and ship them to ``client``.

@@ -141,6 +141,26 @@ class StoreClient:
         attempt: int,
         started: float,
     ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_report_and_backoff_impl`, spanned when tracing is on."""
+        gen = self._report_and_backoff_impl(
+            name, benefactor, error, attempt, started
+        )
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "store.client", "retry", gen,
+            path=name, attempt=attempt, failed=benefactor.name,
+        )
+
+    def _report_and_backoff_impl(
+        self,
+        name: str,
+        benefactor: Benefactor,
+        error: BenefactorDownError,
+        attempt: int,
+        started: float,
+    ) -> Generator[Event, object, None]:
         """Shared failover step: report, invalidate, back off — or give up.
 
         Raises ``error`` once the attempt cap or deadline is exhausted;
@@ -183,6 +203,19 @@ class StoreClient:
     # Data path
     # ------------------------------------------------------------------
     def _fetch_failover(
+        self, name: str, index: int, chunk_off: int, length: int
+    ) -> Generator[Event, object, bytearray]:
+        """Dispatch :meth:`_fetch_failover_impl`, spanned when tracing is on."""
+        gen = self._fetch_failover_impl(name, index, chunk_off, length)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "store.client", "fetch", gen,
+            path=name, index=index, bytes=length,
+        )
+
+    def _fetch_failover_impl(
         self, name: str, index: int, chunk_off: int, length: int
     ) -> Generator[Event, object, bytearray]:
         """Fetch chunk bytes, failing over to surviving replicas.
@@ -262,6 +295,20 @@ class StoreClient:
             cursor += piece
 
     def write_chunk_ranges(
+        self, name: str, index: int, ranges: list[tuple[int, bytes]]
+    ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_write_chunk_ranges_impl`, spanned when tracing is on."""
+        gen = self._write_chunk_ranges_impl(name, index, ranges)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "store.client", "write", gen,
+            path=name, index=index,
+            bytes=sum(len(payload) for _, payload in ranges),
+        )
+
+    def _write_chunk_ranges_impl(
         self, name: str, index: int, ranges: list[tuple[int, bytes]]
     ) -> Generator[Event, object, None]:
         """Write byte ranges within one chunk (dirty-page flush granularity).

@@ -187,6 +187,19 @@ class Manager:
     def report_failure(
         self, client: str, name: str
     ) -> Generator[Event, object, bool]:
+        """Dispatch :meth:`_report_failure_impl`, spanned when tracing is on."""
+        gen = self._report_failure_impl(client, name)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "store.manager", "report_failure", gen,
+            client=client, benefactor=name,
+        )
+
+    def _report_failure_impl(
+        self, client: str, name: str
+    ) -> Generator[Event, object, bool]:
         """A client reports a failed data operation against benefactor
         ``name``.
 
@@ -336,6 +349,18 @@ class Manager:
     def _rereplicate_chunk(
         self, chunk_id: int
     ) -> Generator[Event, object, int]:
+        """Dispatch :meth:`_rereplicate_chunk_impl`, spanned when tracing is on."""
+        gen = self._rereplicate_chunk_impl(chunk_id)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "store.manager", "rereplicate", gen, chunk=chunk_id
+        )
+
+    def _rereplicate_chunk_impl(
+        self, chunk_id: int
+    ) -> Generator[Event, object, int]:
         """Restore one chunk's replication degree; returns 1 on success."""
         if chunk_id in self._lost or chunk_id not in self._chunk_refs:
             return 0  # lost meanwhile, or deleted (refcount hit zero)
@@ -411,6 +436,14 @@ class Manager:
     # RPC cost helper
     # ------------------------------------------------------------------
     def rpc(self, client: str) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_rpc_impl`, spanned when tracing is on."""
+        gen = self._rpc_impl(client)
+        tracer = self.node.engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap("store.manager", "rpc", gen, client=client)
+
+    def _rpc_impl(self, client: str) -> Generator[Event, object, None]:
         """Process generator: one control round trip client <-> manager."""
         yield from self.node.network.transfer(client, self.name, CONTROL_MESSAGE_BYTES)
         yield from self.node.network.transfer(self.name, client, CONTROL_MESSAGE_BYTES)

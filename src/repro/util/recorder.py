@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.errors import MetricsError
+
 
 @dataclass(slots=True)
 class Counter:
@@ -32,13 +34,43 @@ class Counter:
 
 @dataclass
 class TimeSeries:
-    """Timestamped samples of a scalar metric."""
+    """Timestamped samples of a scalar metric.
+
+    With ``max_samples`` set, memory stays bounded no matter how long
+    the run: once the buffer fills, every other retained sample is
+    dropped and the acceptance stride doubles, so the kept samples stay
+    uniformly spread over the whole recording.  The decimation is purely
+    a function of the append sequence — no randomness — so two identical
+    runs retain identical samples.
+    """
 
     times: list[float] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+    max_samples: int | None = None
+    _stride: int = field(default=1, repr=False)
+    _skip: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_samples is not None and self.max_samples < 2:
+            raise MetricsError(
+                f"max_samples must be >= 2, got {self.max_samples}"
+            )
 
     def append(self, time: float, value: float) -> None:
-        """Record one timestamped sample."""
+        """Record one timestamped sample (possibly decimated away)."""
+        if self.max_samples is not None:
+            if self._skip:
+                self._skip -= 1
+                return
+            self._skip = self._stride - 1
+            self.times.append(time)
+            self.values.append(value)
+            if len(self.times) >= self.max_samples:
+                del self.times[1::2]
+                del self.values[1::2]
+                self._stride *= 2
+                self._skip = self._stride - 1
+            return
         self.times.append(time)
         self.values.append(value)
 
@@ -46,9 +78,9 @@ class TimeSeries:
         return len(self.times)
 
     def last(self) -> float:
-        """The most recent sample's value."""
+        """The most recent retained sample's value."""
         if not self.values:
-            raise IndexError("empty time series")
+            raise MetricsError("empty time series")
         return self.values[-1]
 
 
@@ -90,8 +122,16 @@ class MetricsRecorder:
         """Append a timestamped sample to series ``name``."""
         self._series[name].append(time, value)
 
-    def series(self, name: str) -> TimeSeries:
-        """The time series registered under ``name``."""
+    def series(self, name: str, *, max_samples: int | None = None) -> TimeSeries:
+        """The time series registered under ``name``.
+
+        ``max_samples`` bounds the series (see :class:`TimeSeries`); it
+        only takes effect when this call creates the series, so the first
+        caller decides the budget.
+        """
+        if max_samples is not None and name not in self._series:
+            series = self._series[name] = TimeSeries(max_samples=max_samples)
+            return series
         return self._series[name]
 
     def snapshot(self, prefix: str = "") -> dict[str, float]:

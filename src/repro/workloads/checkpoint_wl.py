@@ -133,8 +133,18 @@ def run_checkpoint_workload(
 ) -> CheckpointWorkloadResult:
     """Run the checkpoint loop on rank 0."""
     ctx = job.rank_context(0)
+    # Root span: the rank process forks it, so checkpoint/restore spans
+    # across every layer share one trace.
+    tracer = job.engine.tracer
+    span = (
+        tracer.begin("app", "checkpoint_loop", timesteps=config.timesteps)
+        if tracer is not None
+        else None
+    )
     proc = job.engine.process(_checkpoint_rank(ctx, config))
     outcome = job.engine.run(proc)
+    if span is not None:
+        tracer.end(span)
     assert isinstance(outcome, dict)
     return CheckpointWorkloadResult(
         config=config,

@@ -222,7 +222,17 @@ def _expected_values(config: StreamConfig) -> dict[str, float]:
 def run_stream(job: Job, config: StreamConfig) -> StreamResult:
     """Run STREAM on an existing job (threads = the job's ranks)."""
     raw_offsets = {"A": 0, "B": config.elements * 8, "C": config.elements * 16}
+    # Root span for the whole run: rank processes created inside
+    # ``job.run`` fork it, so every layer's spans share one trace.
+    tracer = job.engine.tracer
+    span = (
+        tracer.begin("app", "stream", kernel=config.kernel.value)
+        if tracer is not None
+        else None
+    )
     _, results = job.run(lambda ctx: _stream_rank(ctx, config, raw_offsets))
+    if span is not None:
+        tracer.end(span)
     elapsed = max(r["elapsed"] for r in results)  # type: ignore[index]
     bytes_moved = sum(r["bytes"] for r in results)  # type: ignore[index]
     verified = all(r["verified"] for r in results)  # type: ignore[index]

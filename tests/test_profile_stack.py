@@ -1,0 +1,50 @@
+"""Smoke test for ``tools/profile_stack.py``.
+
+Profiles one TINY workload end to end and checks the output carries the
+sections a reader relies on: the per-workload header, the wall/virtual
+summary line, and the pstats table.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = str(Path(__file__).resolve().parent.parent / "tools")
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import profile_stack  # noqa: E402
+
+
+def test_profiles_tiny_workload_with_expected_sections(capsys, tmp_path):
+    out = tmp_path / "stats"
+    rc = profile_stack.main(
+        [
+            "--scale", "tiny",
+            "--workloads", "checkpoint_linked",
+            "--sort", "tottime",
+            "--limit", "5",
+            "--output", str(out),
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "=== checkpoint_linked (scale=tiny) ===" in captured.out
+    assert "wall " in captured.out and "virtual " in captured.out
+    assert "events " in captured.out
+    # The pstats table made it out, sorted by the requested key.
+    assert "function calls" in captured.out
+    assert "cumtime" in captured.out
+    assert "WARNING" not in captured.err
+    # --output dumped a loadable raw profile per workload.
+    import pstats
+
+    pstats.Stats(str(out) + ".checkpoint_linked")
+
+
+def test_unknown_workload_rejected(capsys):
+    try:
+        profile_stack.main(["--workloads", "nope"])
+    except SystemExit as exc:
+        assert exc.code == 2
+    else:  # pragma: no cover
+        raise AssertionError("argparse should reject unknown workloads")

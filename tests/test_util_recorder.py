@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import MetricsError, ReproError
 from repro.util.recorder import Counter, MetricsRecorder, TimeSeries
 from repro.util.tables import render_table
 
@@ -27,9 +28,42 @@ class TestTimeSeries:
         assert len(ts) == 2
         assert ts.last() == 20.0
 
-    def test_empty_last_raises(self):
-        with pytest.raises(IndexError):
+    def test_empty_last_raises_domain_error(self):
+        with pytest.raises(MetricsError):
             TimeSeries().last()
+        # Catchable as a simulation-domain failure, not a bare IndexError.
+        assert issubclass(MetricsError, ReproError)
+        assert not issubclass(MetricsError, IndexError)
+
+    def test_unbounded_by_default(self):
+        ts = TimeSeries()
+        for i in range(10_000):
+            ts.append(float(i), float(i))
+        assert len(ts) == 10_000
+
+    def test_max_samples_bounds_memory(self):
+        ts = TimeSeries(max_samples=64)
+        for i in range(100_000):
+            ts.append(float(i), float(i))
+        assert len(ts) <= 64
+        assert len(ts) >= 16  # decimation halves, never empties
+        # Retained samples stay in order and span the recording.
+        assert ts.times == sorted(ts.times)
+        assert ts.times[0] == 0.0
+        assert ts.times[-1] >= 50_000.0
+
+    def test_max_samples_decimation_is_deterministic(self):
+        a = TimeSeries(max_samples=32)
+        b = TimeSeries(max_samples=32)
+        for i in range(12_345):
+            a.append(float(i), float(2 * i))
+            b.append(float(i), float(2 * i))
+        assert a.times == b.times
+        assert a.values == b.values
+
+    def test_max_samples_too_small_rejected(self):
+        with pytest.raises(MetricsError):
+            TimeSeries(max_samples=1)
 
 
 class TestMetricsRecorder:
@@ -58,6 +92,28 @@ class TestMetricsRecorder:
         m.sample("util", 0.0, 0.5)
         m.sample("util", 1.0, 0.7)
         assert m.series("util").values == [0.5, 0.7]
+
+    def test_series_max_samples_on_creation(self):
+        m = MetricsRecorder()
+        bounded = m.series("health", max_samples=16)
+        assert bounded.max_samples == 16
+        assert m.series("health") is bounded
+        # The cap binds at creation; later callers cannot change it.
+        assert m.series("health", max_samples=99).max_samples == 16
+
+    def test_snapshot_deterministic_order(self):
+        m = MetricsRecorder()
+        # Touch counters in a scrambled order; snapshots must come back
+        # sorted by dotted name regardless, so digests over them are
+        # insertion-order independent.
+        for name in ("z.last", "a.first", "m.mid", "a.second"):
+            m.add(name, 1)
+        snap = m.snapshot()
+        assert list(snap) == sorted(snap)
+        m2 = MetricsRecorder()
+        for name in ("a.second", "m.mid", "z.last", "a.first"):
+            m2.add(name, 1)
+        assert list(m2.snapshot()) == list(snap)
 
     def test_reset(self):
         m = MetricsRecorder()

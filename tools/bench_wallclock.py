@@ -52,8 +52,9 @@ from repro.experiments.parallel import (  # noqa: E402
     Orchestrator,
     mp_context,
 )
+from repro import obs  # noqa: E402
 from repro.experiments.resultcache import ResultCache  # noqa: E402
-from repro.experiments.runner import Testbed  # noqa: E402
+from repro.experiments.runner import Testbed, track_testbeds  # noqa: E402
 from repro.workloads.checkpoint_wl import (  # noqa: E402
     CheckpointWorkloadConfig,
     run_checkpoint_workload,
@@ -258,6 +259,45 @@ def run_suite(
     return {name: results[name] for name in names}
 
 
+def bench_tracing_overhead(scale: ExperimentScale) -> dict[str, object]:
+    """Tracing-on vs tracing-off cost of one full-stack workload.
+
+    Runs ``checkpoint_linked`` with tracing disabled, then enabled, in one
+    process.  The entry lands in the JSON as ``tracing``; the regular
+    workload walls (measured with tracing disabled, as always) compared to
+    the seed baseline are what bound the *disabled*-mode overhead of the
+    instrumentation itself.
+    """
+    name = "checkpoint_linked"
+    was_enabled = obs.enabled()
+    try:
+        obs.enable(False)
+        off = WORKLOADS[name](scale)
+        obs.enable(True)
+        with track_testbeds() as tracker:
+            on = WORKLOADS[name](scale)
+    finally:
+        obs.enable(was_enabled)
+    spans = sum(
+        len(tb.engine.tracer.spans)
+        for tb in tracker.testbeds
+        if tb.engine.tracer is not None
+    )
+    off_wall = off["wall_seconds"]
+    on_wall = on["wall_seconds"]
+    return {
+        "workload": name,
+        "disabled_wall_seconds": off_wall,
+        "enabled_wall_seconds": on_wall,
+        "enabled_overhead": on_wall / off_wall - 1.0 if off_wall > 0 else 0.0,
+        "spans": spans,
+        "virtual_identical": (
+            off["virtual_seconds"] == on["virtual_seconds"]
+            and off["counters"] == on["counters"]
+        ),
+    }
+
+
 def _matrix_digest(digests: dict[str, str | None]) -> str:
     """One sha256 summarizing every per-experiment digest of a matrix pass."""
     blob = json.dumps(digests, sort_keys=True, separators=(",", ":"))
@@ -412,16 +452,63 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline", default=None,
         help=f"baseline JSON to compare against (e.g. {SEED_BASELINE})",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="trace the benchmarked workloads on the virtual clock "
+             "(forces --jobs 1; prints critical-path + latency tables)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="OUT.json",
+        help="with --trace: write a Chrome trace_event JSON of every "
+             "benchmarked run",
+    )
+    parser.add_argument(
+        "--trace-bench", action="store_true",
+        help="measure tracing-enabled overhead on one workload and record "
+             "it as a 'tracing' entry in the JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_out and not args.trace:
+        parser.error("--trace-out requires --trace")
+    if args.trace:
+        obs.enable(True)
+        args.jobs = 1  # spans live on in-process tracers
 
     scale = SMALL if args.scale == "small" else TINY
     print(f"benchmarking {len(args.workloads)} workloads at scale={scale.name}")
-    results = run_suite(scale, args.workloads, max(1, args.repeat), args.jobs)
+    if args.trace:
+        with track_testbeds() as tracker:
+            results = run_suite(
+                scale, args.workloads, max(1, args.repeat), args.jobs
+            )
+        for i, testbed in enumerate(tracker.testbeds):
+            tracer = testbed.engine.tracer
+            if tracer is not None and tracer.spans:
+                obs.collect(f"bench/testbed{i}", tracer)
+    else:
+        results = run_suite(scale, args.workloads, max(1, args.repeat), args.jobs)
 
     matrix_entries: dict[str, dict[str, object]] = {}
     if args.matrix:
         print(f"benchmarking experiment matrix at scale={scale.name}")
         matrix_entries = bench_matrix(scale, args.matrix_jobs)
+
+    tracing_entry: dict[str, object] | None = None
+    if args.trace_bench:
+        print(f"benchmarking tracing overhead at scale={scale.name}")
+        tracing_entry = bench_tracing_overhead(scale)
+        print(
+            f"  tracing: {tracing_entry['disabled_wall_seconds']:.2f}s off, "
+            f"{tracing_entry['enabled_wall_seconds']:.2f}s on "
+            f"({100 * tracing_entry['enabled_overhead']:+.1f}%), "
+            f"{tracing_entry['spans']} spans, virtual "
+            f"{'identical' if tracing_entry['virtual_identical'] else 'DRIFTED'}",
+            flush=True,
+        )
+        if not tracing_entry["virtual_identical"]:
+            print("FAIL: tracing changed virtual results", file=sys.stderr)
+            return 1
 
     identical = True
     baseline = None
@@ -435,6 +522,8 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": results,
         **matrix_entries,
     }
+    if tracing_entry is not None:
+        report["tracing"] = tracing_entry
     if matrix_entries:
         if baseline is not None:
             identical &= compare_matrix_to_baseline(matrix_entries, baseline)
@@ -481,6 +570,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{entry['testbed_constructions']} testbeds built"
             )
         print(line)
+    if args.trace:
+        for label, tracer in obs.collected():
+            print()
+            for line in obs.report_lines(label, tracer):
+                print(line)
+        if args.trace_out:
+            from repro.obs.export import write_chrome_trace
+
+            events = write_chrome_trace(args.trace_out, obs.collected())
+            print(f"wrote {events} trace events to {args.trace_out}")
     print(f"wrote {args.output}")
     if not identical:
         print("FAIL: virtual results drifted from the baseline", file=sys.stderr)
