@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test test-faults test-obs bench bench-wallclock profile trace experiments experiments-par examples clean
+.PHONY: install test test-faults test-obs test-cache cache-ablation bench bench-wallclock profile trace experiments experiments-par examples clean
 
 install:
 	pip install -e .
@@ -28,6 +28,16 @@ profile:
 # marker expression; CI runs it in the dedicated tracing job).
 test-obs:
 	PYTHONPATH=src pytest -m obs
+
+# The cache-tiering determinism/improvement suite (excluded from
+# `make test` by the "not cache" marker expression; CI runs it in the
+# dedicated cache job).
+test-cache:
+	PYTHONPATH=src pytest -m cache
+
+# Render the full lru-vs-arc / tier-on-off ablation grid.
+cache-ablation:
+	PYTHONPATH=src python -m repro.experiments cache_tiering
 
 # Trace the faults experiment on the virtual clock and export a Chrome
 # trace (open trace.json in chrome://tracing or https://ui.perfetto.dev).

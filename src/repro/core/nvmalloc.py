@@ -59,6 +59,10 @@ class NVMalloc:
         dirty_page_writeback: bool = True,
         readahead_chunks: int = 0,
         daemon_threads: int = 1,
+        cache_policy: str = "lru",
+        local_cache_bytes: int = 0,
+        prefetch: str = "fixed",
+        prefetch_depth: int = 8,
         fuse_op_overhead: float = PageCache.FUSE_OP_OVERHEAD,
         metrics: MetricsRecorder | None = None,
     ) -> None:
@@ -75,6 +79,10 @@ class NVMalloc:
             dirty_page_writeback=dirty_page_writeback,
             readahead_chunks=readahead_chunks,
             daemon_threads=daemon_threads,
+            cache_policy=cache_policy,
+            local_cache_bytes=local_cache_bytes,
+            prefetch=prefetch,
+            prefetch_depth=prefetch_depth,
             metrics=self.metrics,
         )
         self.pagecache = PageCache(

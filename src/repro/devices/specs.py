@@ -59,6 +59,20 @@ class DeviceSpec:
             name=name if name is not None else self.name,
         )
 
+    def partition(self, name: str, capacity: int) -> "DeviceSpec":
+        """A named slice of this device: same timing, smaller capacity.
+
+        Models dedicating part of a device to a separate role — e.g. the
+        node-local chunk-cache partition the FUSE client's second cache
+        tier lives on (``repro.fusefs.localtier``).
+        """
+        if capacity > self.capacity:
+            raise ValueError(
+                f"{self.name}: partition of {capacity} exceeds device "
+                f"capacity {self.capacity}"
+            )
+        return self.scaled(capacity=capacity, name=name)
+
 
 # --- Table I -----------------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.experiments.tables import (
     table7,
     checkpoint_experiment,
 )
+from repro.experiments.cache_tiering import cache_tiering
 from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
 from repro.experiments.faults import faults
@@ -34,6 +35,7 @@ __all__ = [
     "SMALL",
     "TINY",
     "Testbed",
+    "cache_tiering",
     "check_identity",
     "checkpoint_experiment",
     "cost_analysis",

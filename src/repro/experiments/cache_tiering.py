@@ -1,0 +1,243 @@
+"""Cache-tiering ablation: eviction policy x local tier x prefetch.
+
+Runs four workloads — STREAM TRIAD (cyclic scans), the MM compute stage
+(tiled reuse), the §III-E checkpoint loop (bursty writes + re-reads),
+and the Table VII random-write synthetic (cache-hostile) — under five
+client-cache configurations:
+
+- ``lru``        — the seed default (inline LRU, no tier, no prefetch);
+- ``lru+ra``     — the legacy fixed read-ahead window (2 chunks);
+- ``arc``        — the adaptive replacement policy, DRAM tier only;
+- ``lru+l2``     — LRU plus the node-local SSD cache tier;
+- ``arc+l2+pf``  — the full hierarchy: ARC, local tier, and the
+  pattern-detecting prefetcher.
+
+Reported per leg: total virtual time, demand hit rate, local-tier hit
+rate, prefetch accuracy, bytes read from the aggregate store, and mean
+demand-fill latency.  The acceptance claims: the full hierarchy beats
+the fixed LRU on randwrite (demand hit rate up, demand-fill latency
+down) while staying within 2% virtual time on the other three.
+
+Determinism: every leg runs on a fresh testbed, all configuration lives
+in ordered literals, and the cache hierarchy's bookkeeping is
+hash-seed-independent (insertion-ordered dicts throughout), so the
+report digests bit-identically across repeats, ``PYTHONHASHSEED``
+values, and the serial/parallel orchestrators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import SMALL, ExperimentScale
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import Testbed
+from repro.fusefs.cache import CacheStats
+from repro.util.units import MiB
+from repro.workloads.checkpoint_wl import (
+    CheckpointWorkloadConfig,
+    run_checkpoint_workload,
+)
+from repro.workloads.matmul import MatmulConfig, run_matmul
+from repro.workloads.randwrite import RandWriteConfig, run_randwrite
+from repro.workloads.stream import StreamConfig, run_stream
+
+#: Virtual-time regression budget for the streaming workloads (the
+#: hierarchy must never cost more than this where it cannot help).
+REGRESSION_BUDGET = 0.02
+
+#: Chunks of fixed read-ahead in the legacy ``lru+ra`` leg.
+LEGACY_READAHEAD = 2
+
+
+def cache_configs(scale: ExperimentScale) -> list[tuple[str, dict]]:
+    """The ablation grid: (label, JobConfig overrides), in report order."""
+    l2 = scale.local_cache
+    return [
+        ("lru", {}),
+        ("lru+ra", {"readahead_chunks": LEGACY_READAHEAD}),
+        ("arc", {"cache_policy": "arc"}),
+        ("lru+l2", {"local_cache_bytes": l2}),
+        (
+            "arc+l2+pf",
+            {
+                "cache_policy": "arc",
+                "local_cache_bytes": l2,
+                "prefetch": "adaptive",
+            },
+        ),
+    ]
+
+
+@dataclass
+class _LegResult:
+    """One (workload, cache config) run."""
+
+    elapsed: float  # total virtual seconds of the leg's testbed
+    verified: bool
+    chunk: CacheStats  # job-wide chunk-cache stats at run end
+    store_read: float  # bytes fetched from the aggregate store
+
+
+def _snapshot(testbed: Testbed, job, verified: bool) -> _LegResult:
+    chunk, _page = job.cache_stats()
+    return _LegResult(
+        elapsed=testbed.engine.now,
+        verified=verified,
+        chunk=chunk,
+        store_read=testbed.cluster.metrics.value("store.client.bytes_read"),
+    )
+
+
+def _stream_leg(scale: ExperimentScale, overrides: dict) -> _LegResult:
+    """STREAM TRIAD, all arrays on the store: pure cyclic streaming.
+
+    Remote benefactors, as in the paper's deployment: every chunk-cache
+    miss pays the network round trip the local tier is meant to short-
+    circuit.
+    """
+    testbed = Testbed(scale)
+    job = testbed.job(1, 1, 2, remote_ssd=True, **overrides)
+    config = StreamConfig(
+        elements=scale.stream_elements,
+        iterations=scale.stream_iterations,
+        placement={"A": "nvm", "B": "nvm", "C": "nvm"},
+        block_bytes=scale.stream_block,
+    )
+    result = run_stream(job, config)
+    return _snapshot(testbed, job, result.verified)
+
+
+def _mm_leg(scale: ExperimentScale, overrides: dict) -> _LegResult:
+    """The Fig. 3 MM kernel with B on the store (tiled column reuse)."""
+    testbed = Testbed(scale)
+    job = testbed.job(2, 2, 2, **overrides)
+    config = MatmulConfig(
+        n=scale.matrix_n,
+        tile=scale.matrix_tile,
+        b_placement="nvm",
+        shared_mmap=True,
+    )
+    result = run_matmul(job, testbed.pfs, config)
+    return _snapshot(testbed, job, result.verified)
+
+
+def _checkpoint_leg(scale: ExperimentScale, overrides: dict) -> _LegResult:
+    """The §III-E checkpoint loop: COW writes plus restore re-reads."""
+    testbed = Testbed(scale)
+    job = testbed.job(1, 1, 2, remote_ssd=True, **overrides)
+    config = CheckpointWorkloadConfig(
+        variable_bytes=scale.checkpoint_variable,
+        dram_state_bytes=scale.checkpoint_dram_state,
+        timesteps=4,
+    )
+    result = run_checkpoint_workload(job, config)
+    return _snapshot(testbed, job, result.restores_verified)
+
+
+def _randwrite_leg(scale: ExperimentScale, overrides: dict) -> _LegResult:
+    """Table VII byte-granular random writes: the cache-hostile case."""
+    testbed = Testbed(scale)
+    job = testbed.job(1, 1, 2, remote_ssd=True, **overrides)
+    config = RandWriteConfig(
+        region_bytes=scale.randwrite_region,
+        num_writes=scale.randwrite_count,
+    )
+    result = run_randwrite(job, config)
+    return _snapshot(testbed, job, result.verified)
+
+
+WORKLOADS = [
+    ("STREAM", _stream_leg),
+    ("MM", _mm_leg),
+    ("checkpoint", _checkpoint_leg),
+    ("randwrite", _randwrite_leg),
+]
+
+
+def cache_tiering(scale: ExperimentScale = SMALL) -> ExperimentReport:
+    """Tiered adaptive client caching: the lru-vs-arc / tier-on-off grid."""
+    report = ExperimentReport(
+        experiment="Cache tiering (§III-D)",
+        title=(
+            "Client cache hierarchy: ARC + local SSD tier + adaptive "
+            "prefetch vs the fixed LRU"
+        ),
+        headers=[
+            "Workload", "Config", "Elapsed (s)", "vs lru %", "Hit %",
+            "L2 %", "PF acc %", "Store read MiB", "Fill ms",
+        ],
+    )
+    configs = cache_configs(scale)
+    results: dict[tuple[str, str], _LegResult] = {}
+    for workload, run_leg in WORKLOADS:
+        for label, overrides in configs:
+            leg = run_leg(scale, dict(overrides))
+            results[(workload, label)] = leg
+            report.verified &= leg.verified
+            baseline = results[(workload, "lru")]
+            delta = (
+                100.0 * (leg.elapsed - baseline.elapsed) / baseline.elapsed
+                if baseline.elapsed and label != "lru"
+                else 0.0
+            )
+            chunk = leg.chunk
+            report.add_row(
+                workload,
+                label,
+                round(leg.elapsed, 6),
+                "-" if label == "lru" else f"{delta:+.2f}",
+                f"{100 * chunk.hit_rate:.1f}",
+                f"{100 * chunk.l2_hit_rate:.1f}" if chunk.l2_hits else "-",
+                (
+                    f"{100 * chunk.prefetch_accuracy:.1f}"
+                    if chunk.prefetches
+                    else "-"
+                ),
+                round(leg.store_read / MiB, 3),
+                round(1e3 * chunk.demand_fill_latency, 4),
+            )
+            report.add_cache_stats(f"{workload}/{label}", chunk=chunk)
+
+    # Acceptance: the full hierarchy beats fixed LRU where the paper's
+    # client cache hurts most (randwrite), and never costs more than the
+    # regression budget where it cannot help.
+    base = results[("randwrite", "lru")]
+    full = results[("randwrite", "arc+l2+pf")]
+    tiered = results[("randwrite", "lru+l2")]
+    randwrite_better = (
+        full.chunk.hit_rate > base.chunk.hit_rate
+        and full.chunk.demand_fill_latency < base.chunk.demand_fill_latency
+        and full.elapsed < base.elapsed
+    )
+    report.verified &= randwrite_better
+    within_budget = True
+    for workload, _ in WORKLOADS:
+        if workload == "randwrite":
+            continue
+        baseline = results[(workload, "lru")]
+        for label, _overrides in configs:
+            if label in ("lru", "lru+ra"):
+                continue  # the legacy window is a reference, not a gate
+            leg = results[(workload, label)]
+            within_budget &= leg.elapsed <= baseline.elapsed * (
+                1.0 + REGRESSION_BUDGET
+            )
+    report.verified &= within_budget
+    report.claim(
+        "§III-D: client-side caching is what makes the aggregate store "
+        "competitive; its fixed LRU + static read-ahead leave hits on the "
+        "table for cache-hostile access",
+        (
+            "randwrite with arc+l2+pf: demand hit rate "
+            f"{100 * base.chunk.hit_rate:.1f}% -> "
+            f"{100 * full.chunk.hit_rate:.1f}%, demand-fill latency "
+            f"{1e3 * base.chunk.demand_fill_latency:.3f} -> "
+            f"{1e3 * full.chunk.demand_fill_latency:.3f} ms, elapsed "
+            f"{base.elapsed:.4f} -> {full.elapsed:.4f} s (local tier alone: "
+            f"{tiered.elapsed:.4f} s); streaming workloads within "
+            f"{100 * REGRESSION_BUDGET:.0f}% of the seed LRU: "
+            f"{'yes' if within_budget else 'NO'}"
+        ),
+    )
+    return report

@@ -57,6 +57,10 @@ class ExperimentScale:
     benefactor_contribution: int
     pfs_servers: int
     cpu_slowdown: float  # divide per-core flops by this
+    # Node-local SSD cache-tier capacity for the cache_tiering ablation
+    # (defaulted so older scale literals stay valid; the tier itself is
+    # only instantiated when a job passes local_cache_bytes).
+    local_cache: int = 8 * MiB
 
     def cpu_spec(self) -> CPUSpec:
         """The (possibly slowed) per-core CPU spec for this scale."""
@@ -109,6 +113,9 @@ SMALL = ExperimentScale(
     benefactor_contribution=256 * MiB,
     pfs_servers=4,
     cpu_slowdown=512.0,
+    # 48x the DRAM chunk cache — a thin slice of the 512 MiB local SSD,
+    # sized to the randwrite working set like a real deployment would.
+    local_cache=48 * MiB,
 )
 
 #: Test scale: small enough for the full grid to run in unit-test time.
@@ -132,4 +139,5 @@ TINY = ExperimentScale(
     benefactor_contribution=64 * MiB,
     pfs_servers=2,
     cpu_slowdown=512.0,
+    local_cache=8 * MiB,
 )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
+from repro.experiments.cache_tiering import cache_tiering
 from repro.experiments.configs import ExperimentScale
 from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
@@ -61,6 +62,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentReport], str]] = {
     "cost": (cost_analysis, "Provisioning-cost analysis"),
     "explicit": (explicit_vs_swap, "Explicit placement vs transparent swap"),
     "faults": (faults, "Crash schedules under replication r in {1,2}"),
+    "cache_tiering": (
+        cache_tiering,
+        "Client cache hierarchy ablation: lru-vs-arc, tier on/off, prefetch",
+    ),
 }
 
 #: Drivers that take no scale argument.

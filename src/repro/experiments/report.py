@@ -47,15 +47,29 @@ class ExperimentReport:
         ``chunk`` is a :class:`repro.fusefs.cache.CacheStats`, ``page`` a
         :class:`repro.mem.pagecache.PageCacheStats`; either may be None.
         """
-        if chunk is not None and (chunk.hits or chunk.misses):
+        if chunk is not None and (chunk.hits or chunk.misses or chunk.l2_hits):
+            # Demand-traffic accounting: identical text to the seed when
+            # the tiered-hierarchy stats are zero (default configuration).
+            demand_hits = chunk.hits + chunk.l2_hits
             line = (
                 f"{label}: chunk cache {100 * chunk.hit_rate:.1f}% hits "
-                f"({chunk.hits}/{chunk.hits + chunk.misses}), "
+                f"({demand_hits}/{demand_hits + chunk.misses}), "
                 f"fetched {chunk.fetched_bytes / 2**20:.1f} MiB"
             )
             if chunk.prefetched_bytes:
                 line += (
                     f" ({chunk.prefetched_bytes / 2**20:.1f} MiB read-ahead)"
+                )
+            if chunk.l2_hits or chunk.l2_spill_bytes:
+                line += (
+                    f", local tier {100 * chunk.l2_hit_rate:.1f}% of DRAM "
+                    f"misses ({chunk.l2_hits} hits, "
+                    f"{chunk.l2_promote_bytes / 2**20:.1f} MiB promoted)"
+                )
+            if chunk.prefetches:
+                line += (
+                    f", prefetch accuracy {100 * chunk.prefetch_accuracy:.1f}%"
+                    f" ({chunk.prefetch_hits}/{chunk.prefetches})"
                 )
             line += f", wrote back {chunk.writeback_bytes / 2**20:.1f} MiB"
             self.cache_lines.append(line)

@@ -15,6 +15,22 @@ the whole cache, and a monotone ``lru`` stamp per entry so a per-path
 flush can replay exact LRU order without consulting the global dict.
 Neither structure changes what is simulated — only how fast Python finds
 the entries.
+
+Beyond the seed behaviour, three opt-in features form a tiered adaptive
+hierarchy (see INTERNALS.md "Client cache hierarchy"):
+
+- ``policy="arc"`` swaps the inline LRU victim scan for the adaptive
+  replacement policy in :mod:`repro.fusefs.policy`;
+- ``local_cache_bytes`` adds a node-local SSD tier
+  (:mod:`repro.fusefs.localtier`) that absorbs DRAM evictions and
+  serves DRAM misses without the network round trip;
+- ``prefetch="adaptive"`` replaces the fixed ``readahead_chunks``
+  window with the per-file pattern detector in
+  :mod:`repro.fusefs.prefetch`.
+
+All three default to off, and every hook sits behind a ``None`` check on
+the default path, so the default configuration stays event-for-event
+identical to the seed (the digest-identity gate in CI enforces this).
 """
 
 from __future__ import annotations
@@ -25,6 +41,9 @@ from dataclasses import dataclass
 
 from repro.devices.base import AccessKind
 from repro.errors import FuseError
+from repro.fusefs.localtier import LocalCacheTier
+from repro.fusefs.policy import make_policy
+from repro.fusefs.prefetch import PatternPrefetcher
 from repro.sim.events import Event
 from repro.sim.resources import Resource
 from repro.store.chunk import CHUNK_SIZE, PAGE_SIZE
@@ -44,18 +63,62 @@ class CacheStats:
     writeback_bytes: int = 0  # cache -> store
     evictions: int = 0
     dirty_evictions: int = 0
+    # Tiered-hierarchy accounting (all zero in the default configuration).
+    l2_hits: int = 0  # demand DRAM misses served by the local SSD tier
+    prefetch_hits: int = 0  # demand hits on chunks a prefetch brought in
+    prefetches: int = 0  # prefetch fills issued (fixed or adaptive)
+    l2_spill_bytes: int = 0  # DRAM evictions written into the local tier
+    l2_promote_bytes: int = 0  # local tier -> DRAM promotions
+    store_fills: int = 0  # demand fills served by the store
+    l2_fills: int = 0  # demand fills served by the local tier
+    store_fill_seconds: float = 0.0  # virtual time in store demand fills
+    l2_fill_seconds: float = 0.0  # virtual time in local-tier demand fills
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served without a store fetch."""
-        total = self.hits + self.misses
+        """Fraction of demand lookups served without a store fetch.
+
+        Demand-only: prefetch fills never count (their lookups pass
+        ``count_stats=False``), and a local-tier hit avoided the store
+        round trip, so it counts as a hit.  Identical to the seed's
+        ``hits / (hits + misses)`` when the local tier is off.
+        """
+        total = self.hits + self.l2_hits + self.misses
+        return (self.hits + self.l2_hits) / total if total else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Fraction of demand lookups served from the DRAM tier alone."""
+        total = self.hits + self.l2_hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Fraction of DRAM demand misses absorbed by the local tier."""
+        total = self.l2_hits + self.misses
+        return self.l2_hits / total if total else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches later hit by a demand lookup."""
+        return self.prefetch_hits / self.prefetches if self.prefetches else 0.0
+
+    @property
+    def demand_fill_latency(self) -> float:
+        """Mean virtual seconds a demand miss spent filling its chunk."""
+        fills = self.store_fills + self.l2_fills
+        if not fills:
+            return 0.0
+        return (self.store_fill_seconds + self.l2_fill_seconds) / fills
 
 
 class _Entry:
     """One cached chunk."""
 
-    __slots__ = ("data", "dirty", "valid", "pins", "filling", "writeback", "lru")
+    __slots__ = (
+        "data", "dirty", "valid", "pins", "filling", "writeback", "lru",
+        "prefetched", "l2_stale",
+    )
 
     def __init__(self, chunk_size: int) -> None:
         # Allocated lazily: a fetch replaces it wholesale with the
@@ -87,6 +150,14 @@ class _Entry:
         # strictly increasing across touches, so sorting a path's entries
         # by stamp reproduces LRU (insertion) order exactly.
         self.lru = 0
+        # True from a prefetch fill until the first demand hit consumes
+        # it — that hit is what makes the prefetch "useful".
+        self.prefetched = False
+        # With the local tier on: byte ranges written since this entry
+        # was created, i.e. how far the tier's shadow copy (if any) lags
+        # behind.  ``dirty`` cannot serve — write-backs clear it while
+        # the shadow stays stale.  None until the first tiered write.
+        self.l2_stale: IntervalSet | None = None
 
 
 class ChunkCache:
@@ -102,6 +173,10 @@ class ChunkCache:
         dirty_page_writeback: bool = True,
         readahead_chunks: int = 0,
         daemon_threads: int = 1,
+        policy: str = "lru",
+        local_cache_bytes: int = 0,
+        prefetch: str = "fixed",
+        prefetch_depth: int = 8,
         metrics: MetricsRecorder | None = None,
     ) -> None:
         if capacity_bytes < chunk_size:
@@ -111,6 +186,11 @@ class ChunkCache:
             )
         if chunk_size % page_size != 0:
             raise FuseError("chunk size must be a multiple of page size")
+        if prefetch not in ("fixed", "adaptive"):
+            raise FuseError(
+                f"unknown prefetch mode {prefetch!r}; "
+                "expected 'fixed' or 'adaptive'"
+            )
         self.client = client
         self.chunk_size = chunk_size
         self.page_size = page_size
@@ -119,6 +199,35 @@ class ChunkCache:
         self.readahead_chunks = readahead_chunks
         self.metrics = metrics if metrics is not None else client.metrics
         self.stats = CacheStats()
+        self.policy_name = policy
+        # None for "lru": plain LRU is the entry dict's own order, so the
+        # default path keeps its inline victim scan with zero hook cost.
+        self._policy = make_policy(policy, self.capacity_chunks)
+        self._l2 = (
+            LocalCacheTier(
+                client.node,
+                capacity_bytes=local_cache_bytes,
+                chunk_size=chunk_size,
+                metrics=metrics if metrics is not None else client.metrics,
+            )
+            if local_cache_bytes
+            else None
+        )
+        self._prefetcher = (
+            PatternPrefetcher(max_depth=prefetch_depth)
+            if prefetch == "adaptive"
+            else None
+        )
+        # Any non-default cache feature switches on the extended counter
+        # set below.  Gating them keeps default-configuration experiment
+        # digests bit-identical to the seed (counters materializing at
+        # all would change the folded counter snapshot).
+        extended = (
+            self._policy is not None
+            or self._l2 is not None
+            or self._prefetcher is not None
+        )
+        self.extended_metrics = extended
         # Direct references for the per-access hot paths (three attribute
         # hops each otherwise).
         self._engine = client.node.engine
@@ -143,6 +252,17 @@ class ChunkCache:
         # order so drain_path waits on the same (oldest) write-back a
         # whole-dict scan would have picked.
         self._inflight_by_path: dict[str, dict[int, Event]] = {}
+        # Per-path invalidation generation: an in-flight tiered eviction
+        # captured the generation at eviction time and must not spill
+        # into the local tier if the path was invalidated since (a
+        # recreated file would read the dead file's bytes).
+        self._inval_gen: dict[str, int] = {}
+        # Keys whose in-flight tiered eviction has not yet brought the
+        # local tier current: the tier's shadow copy (kept by the
+        # inclusive promote) may lag the departed entry's writes until
+        # the eviction patches or drops it, so readers must not promote
+        # such a key (see the ``_load`` wait loop).
+        self._l2_unsettled: set[tuple[str, int]] = set()
         self._tick = 0
         # Hot-path counters, resolved on first use (snapshot-identical
         # to per-call ``metrics.add``: untouched ones never materialize).
@@ -152,6 +272,35 @@ class ChunkCache:
         self._write_counter = None
         self._fetch_counter = None
         self._writeback_counter = None
+        # Extended per-tier counters: eagerly bound in extended mode (the
+        # ablation reports want zeros to show up), absent otherwise.
+        self._c_l1_hits = None
+        self._c_l1_misses = None
+        self._c_l2_hits = None
+        self._c_l2_misses = None
+        self._c_l2_spill = None
+        self._c_l2_promote = None
+        self._c_pf_issued = None
+        self._c_pf_useful = None
+        self._c_arc_ghost = None
+        if extended:
+            self._c_l1_hits = self.metrics.counter("fuse.cache.l1.hits")
+            self._c_l1_misses = self.metrics.counter("fuse.cache.l1.misses")
+            self._c_pf_issued = self.metrics.counter("fuse.prefetch.issued")
+            self._c_pf_useful = self.metrics.counter("fuse.prefetch.useful")
+            if self._l2 is not None:
+                self._c_l2_hits = self.metrics.counter("fuse.cache.l2.hits")
+                self._c_l2_misses = self.metrics.counter("fuse.cache.l2.misses")
+                self._c_l2_spill = self.metrics.counter(
+                    "fuse.cache.l2.spill_bytes"
+                )
+                self._c_l2_promote = self.metrics.counter(
+                    "fuse.cache.l2.promote_bytes"
+                )
+            if self._policy is not None:
+                self._c_arc_ghost = self.metrics.counter(
+                    "fuse.cache.arc.ghost_hits"
+                )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -162,6 +311,21 @@ class ChunkCache:
     def cached_keys(self) -> list[tuple[str, int]]:
         """(path, chunk_index) keys in LRU order (oldest first)."""
         return list(self._entries.keys())
+
+    @property
+    def policy(self):
+        """The pluggable policy object (None for the inline LRU)."""
+        return self._policy
+
+    @property
+    def local_tier(self) -> LocalCacheTier | None:
+        """The node-local SSD cache tier (None when disabled)."""
+        return self._l2
+
+    @property
+    def prefetcher(self) -> PatternPrefetcher | None:
+        """The adaptive pattern detector (None in fixed mode)."""
+        return self._prefetcher
 
     def dirty_bytes(self) -> int:
         """Bytes currently dirty across all cached chunks (page-aligned)."""
@@ -180,6 +344,8 @@ class ChunkCache:
         self._entries.move_to_end(key)
         self._tick += 1
         entry.lru = self._tick
+        if self._policy is not None:
+            self._policy.record_hit(key)
         return entry
 
     def _page_align(self, dirty: IntervalSet) -> list[tuple[int, int]]:
@@ -194,15 +360,30 @@ class ChunkCache:
         return list(aligned)
 
     def _make_room(self) -> Generator[Event, object, None]:
+        policy = self._policy
+        l2 = self._l2
         while len(self._entries) >= self.capacity_chunks:
             # LRU victim among unpinned entries.  When every entry is
             # pinned by an in-flight operation, overshoot temporarily —
             # bounded by the number of concurrent ranks on the node.
             victim_key = None
-            for key, entry in self._entries.items():
-                if entry.pins == 0:
-                    victim_key = key
-                    break
+            if policy is not None:
+                victim_key = policy.victim(self._entries, self._inflight)
+            elif l2 is not None:
+                # Default LRU scan, but also skip keys whose previous
+                # incarnation's background spill/drain is still in
+                # flight: re-registering them would collide in
+                # ``_inflight``.  (Impossible in the flat default: a key
+                # re-enters ``_entries`` only after its drain lands.)
+                for key, entry in self._entries.items():
+                    if entry.pins == 0 and key not in self._inflight:
+                        victim_key = key
+                        break
+            else:
+                for key, entry in self._entries.items():
+                    if entry.pins == 0:
+                        victim_key = key
+                        break
             if victim_key is None:
                 return
             entry = self._entries.pop(victim_key)
@@ -211,6 +392,8 @@ class ChunkCache:
             bucket.discard(vindex)
             if not bucket:
                 del self._by_path[vpath]
+            if policy is not None:
+                policy.record_evict(victim_key)
             was_dirty = bool(entry.dirty)
             done = Event(self._engine)
             self._inflight[victim_key] = done
@@ -218,6 +401,25 @@ class ChunkCache:
             if ibucket is None:
                 ibucket = self._inflight_by_path[vpath] = {}
             ibucket[vindex] = done
+            if l2 is not None:
+                # Tiered eviction is fully asynchronous: the spill into
+                # the local tier and the store drain run as their own
+                # simulation process, so the evicting rank never waits —
+                # only the ``_inflight`` marker ties readers to it.
+                # Until that process patches (or drops) the tier's
+                # shadow copy, the local bytes may lag this entry's
+                # writes and must not be promoted.
+                self._l2_unsettled.add(victim_key)
+                self._engine.process(
+                    self._evict_tiered(
+                        victim_key, entry, done,
+                        self._inval_gen.get(vpath, 0),
+                    )
+                )
+                self.stats.evictions += 1
+                if was_dirty:
+                    self.stats.dirty_evictions += 1
+                continue
             tracer = self._engine.tracer
             span = (
                 tracer.begin("fuse", "evict_writeback", path=vpath, index=vindex)
@@ -275,6 +477,133 @@ class ChunkCache:
             self.stats.evictions += 1
             if was_dirty:
                 self.stats.dirty_evictions += 1
+
+    def _evict_tiered(
+        self, key: tuple[str, int], entry: _Entry, done: Event, gen_at: int
+    ) -> Generator[Event, object, None]:
+        """Dispatch :meth:`_evict_tiered_impl`, spanned when tracing is on."""
+        gen = self._evict_tiered_impl(key, entry, done, gen_at)
+        tracer = self._engine.tracer
+        if tracer is None:
+            return gen
+        return tracer.wrap(
+            "fuse.l2", "evict", gen,
+            path=key[0], index=key[1], dirty=bool(entry.dirty),
+        )
+
+    def _evict_tiered_impl(
+        self, key: tuple[str, int], entry: _Entry, done: Event, gen_at: int
+    ) -> Generator[Event, object, None]:
+        """Background eviction with the local tier on.
+
+        Brings the local tier current for the departing chunk (see
+        :meth:`_spill`), then — for dirty entries — drains the dirty
+        page ranges to the store.  The local copy is *staged* while the
+        drain is in flight: it is the durable one readers may promote
+        meanwhile, and ``mark_drained`` releases it to age out normally
+        once the store holds the bytes.
+
+        Consistency: an entry that is not fully valid (write-allocate
+        holes) must never become a resident local-tier copy — its buffer
+        is not the chunk's true contents — so those drop the key from
+        the tier instead.  The same applies when the tier is wedged full
+        of staged entries and the insert fails.
+        """
+        l2 = self._l2
+        path, index = key
+        try:
+            while entry.filling is not None:
+                yield entry.filling
+            if entry.dirty:
+                if self.dirty_page_writeback:
+                    view = memoryview(entry.data)
+                    ranges = [
+                        (start, bytes(view[start:stop]))
+                        for start, stop in self._page_align(entry.dirty)
+                    ]
+                else:
+                    ranges = [(0, bytes(entry.data))]
+                entry.dirty.clear()
+                nbytes = sum(len(payload) for _, payload in ranges)
+                if entry.valid and self._inval_gen.get(path, 0) == gen_at:
+                    ok = yield from self._spill(key, entry, staged=True)
+                    if not ok:
+                        l2.drop(key)
+                else:
+                    l2.drop(key)
+                self._l2_unsettled.discard(key)
+                req = self.daemon.request()
+                yield req
+                try:
+                    yield from self.client.write_chunk_ranges(
+                        path, index, ranges
+                    )
+                finally:
+                    self.daemon.release(req)
+                self.stats.writeback_bytes += nbytes
+                counter = self._writeback_counter
+                if counter is None:
+                    counter = self._writeback_counter = self.metrics.counter(
+                        "fuse.writeback.bytes"
+                    )
+                counter.total += nbytes
+                counter.count += 1
+                l2.mark_drained(key)
+            elif (
+                entry.valid
+                and entry.data is not None
+                and self._inval_gen.get(path, 0) == gen_at
+            ):
+                ok = yield from self._spill(key, entry, staged=False)
+                if not ok:
+                    l2.drop(key)
+            else:
+                l2.drop(key)
+        finally:
+            self._l2_unsettled.discard(key)
+            del self._inflight[key]
+            ibucket = self._inflight_by_path[path]
+            del ibucket[index]
+            if not ibucket:
+                del self._inflight_by_path[path]
+            done.succeed(None)
+
+    def _spill(
+        self, key: tuple[str, int], entry: _Entry, *, staged: bool
+    ) -> Generator[Event, object, bool]:
+        """Bring the local tier current for a departing entry.
+
+        Three cases, cheapest first: the tier already shadows the chunk
+        and no write diverged it — a metadata touch, no device time; the
+        shadow lags — patch just the diverged page ranges back in; the
+        tier never saw the chunk — write it whole.  Returns False when a
+        whole-chunk insert failed (tier wedged full of staged entries);
+        the caller must then drop the key.
+        """
+        l2 = self._l2
+        if l2.contains(key):
+            stale = entry.l2_stale
+            if stale is None or not stale:
+                l2.touch(key)
+                return True
+            view = memoryview(entry.data)
+            ranges = [
+                (start, bytes(view[start:stop]))
+                for start, stop in self._page_align(stale)
+            ]
+            yield from l2.patch(key, ranges, staged=staged)
+            nbytes = sum(len(payload) for _, payload in ranges)
+        else:
+            ok = yield from l2.put(key, bytes(entry.data), staged=staged)
+            if not ok:
+                return False
+            nbytes = self.chunk_size
+        self.stats.l2_spill_bytes += nbytes
+        counter = self._c_l2_spill
+        if counter is not None:
+            counter.total += nbytes
+            counter.count += 1
+        return True
 
     def _writeback(
         self, key: tuple[str, int], entry: _Entry
@@ -354,10 +683,23 @@ class ChunkCache:
         first_attempt = count_stats
         entries = self._entries
         inflight = self._inflight
+        policy = self._policy
+        l2 = self._l2
         while True:
             # If this chunk is mid-eviction, wait for its write-back to
-            # land (refetching now would read stale bytes from the store).
+            # land (refetching now would read stale bytes from the store)
+            # — unless the local tier already holds a *current* copy
+            # (spilled, or an unchanged shadow), in which case the fill
+            # below will promote it without touching the store.  A key in
+            # ``_l2_unsettled`` has a shadow that may still lag the
+            # departed entry's writes: not promotable yet.
             while key in inflight:
+                if (
+                    l2 is not None
+                    and l2.contains(key)
+                    and key not in self._l2_unsettled
+                ):
+                    break
                 yield inflight[key]
             entry = entries.get(key)
             if entry is not None:
@@ -365,6 +707,8 @@ class ChunkCache:
                 self._tick += 1
                 entry.lru = self._tick
                 entry.pins += 1  # survives the fill below and is returned
+                if policy is not None:
+                    policy.record_hit(key)
                 if fetch and not entry.valid:
                     if entry.filling is not None:
                         # Someone is already fetching this chunk: wait for
@@ -383,21 +727,70 @@ class ChunkCache:
                         )
                     counter.total += 1.0
                     counter.count += 1
+                    if entry.prefetched:
+                        entry.prefetched = False
+                        self.stats.prefetch_hits += 1
+                        counter = self._c_pf_useful
+                        if counter is not None:
+                            counter.total += 1.0
+                            counter.count += 1
+                    counter = self._c_l1_hits
+                    if counter is not None:
+                        counter.total += 1.0
+                        counter.count += 1
                 return entry
             if first_attempt:
-                self.stats.misses += 1
-                counter = self._misses_counter
-                if counter is None:
-                    counter = self._misses_counter = self.metrics.counter(
-                        "fuse.cache.misses"
-                    )
-                counter.total += 1.0
-                counter.count += 1
+                in_l2 = l2 is not None and l2.contains(key)
+                if in_l2:
+                    # Served locally: a demand hit as far as the store is
+                    # concerned — the seed's miss counters stay reserved
+                    # for lookups that pay the network round trip.
+                    self.stats.l2_hits += 1
+                    counter = self._c_l2_hits
+                    if counter is not None:
+                        counter.total += 1.0
+                        counter.count += 1
+                else:
+                    self.stats.misses += 1
+                    counter = self._misses_counter
+                    if counter is None:
+                        counter = self._misses_counter = self.metrics.counter(
+                            "fuse.cache.misses"
+                        )
+                    counter.total += 1.0
+                    counter.count += 1
+                    counter = self._c_l2_misses
+                    if counter is not None:
+                        counter.total += 1.0
+                        counter.count += 1
+                counter = self._c_l1_misses
+                if counter is not None:
+                    counter.total += 1.0
+                    counter.count += 1
                 first_attempt = False
+                if policy is not None and policy.record_miss(key):
+                    # Ghost hit moved the adaptive target: sample it so
+                    # the report can show p's trajectory.
+                    self.metrics.sample(
+                        "fuse.cache.arc.p", self._engine.now, float(policy.p)
+                    )
+                    counter = self._c_arc_ghost
+                    if counter is not None:
+                        counter.total += 1.0
+                        counter.count += 1
             yield from self._make_room()
             # _make_room yielded: the chunk may have (re)appeared or gone
             # back into eviction; restart the residency checks if so.
-            if key in entries or key in inflight:
+            # (A key mid-drain whose spilled copy sits in the local tier
+            # is *not* a reason to restart — the wait above would break
+            # straight back out and the fill promotes the local copy.)
+            if key in entries:
+                continue
+            if key in inflight and (
+                l2 is None
+                or not l2.contains(key)
+                or key in self._l2_unsettled
+            ):
                 continue
             entry = _Entry(self.chunk_size)
             entry.pins = 1
@@ -408,9 +801,29 @@ class ChunkCache:
             if bucket is None:
                 bucket = self._by_path[path] = set()
             bucket.add(index)
+            if policy is not None:
+                policy.record_insert(key)
             if fetch:
                 yield from self._fill(path, index, entry, prefetch=prefetch)
             return entry
+
+    def _promotable(self, key: tuple[str, int], entry: _Entry) -> bool:
+        """Whether the local tier's copy can serve this entry's fill.
+
+        The fill merges ``entry.dirty`` over the promoted bytes, so the
+        tier's copy is usable only while every write this entry has
+        absorbed since creation is still marked dirty.  Once a
+        write-back has shipped some of those writes (clearing ``dirty``
+        but not ``l2_stale``), the store holds newer bytes than the
+        tier's shadow and is the only current source.
+        """
+        l2 = self._l2
+        if l2 is None or not l2.contains(key):
+            return False
+        stale = entry.l2_stale
+        if stale is None or not stale:
+            return not entry.dirty
+        return stale == entry.dirty
 
     def _fill(
         self, path: str, index: int, entry: _Entry, *, prefetch: bool = False
@@ -420,14 +833,22 @@ class ChunkCache:
         tracer = self._engine.tracer
         if tracer is None:
             return gen
+        op = (
+            "promote_chunk"
+            if self._promotable((path, index), entry)
+            else "fetch_chunk"
+        )
         return tracer.wrap(
-            "fuse", "fetch_chunk", gen,
+            "fuse", op, gen,
             path=path, index=index, prefetch=prefetch,
         )
 
     def _fill_impl(
         self, path: str, index: int, entry: _Entry, *, prefetch: bool = False
     ) -> Generator[Event, object, None]:
+        l2 = self._l2
+        from_l2 = False
+        fill_start = self._engine.now
         entry.filling = Event(self._engine)
         try:
             # Mutual exclusion with write-backs (registered before this
@@ -437,7 +858,16 @@ class ChunkCache:
             req = self.daemon.request()
             yield req
             try:
-                data = yield from self.client.read_chunk(path, index)
+                if self._promotable((path, index), entry):
+                    # Promote from the local tier: one local SSD read
+                    # instead of the network+benefactor round trip.
+                    data = yield from l2.promote((path, index))
+                    from_l2 = True
+                else:
+                    data = yield from self.client.read_chunk(
+                        path, index,
+                        purpose="prefetch" if prefetch else "demand",
+                    )
             finally:
                 self.daemon.release(req)
         finally:
@@ -465,16 +895,33 @@ class ChunkCache:
             buf[:nbytes] = data
             entry.data = buf
         entry.valid = True
-        self.stats.fetched_bytes += nbytes
+        if from_l2:
+            self.stats.l2_promote_bytes += nbytes
+            counter = self._c_l2_promote
+            if counter is not None:
+                counter.total += nbytes
+                counter.count += 1
+        else:
+            self.stats.fetched_bytes += nbytes
+            if prefetch:
+                self.stats.prefetched_bytes += nbytes
+            counter = self._fetch_counter
+            if counter is None:
+                counter = self._fetch_counter = self.metrics.counter(
+                    "fuse.fetch.bytes"
+                )
+            counter.total += nbytes
+            counter.count += 1
         if prefetch:
-            self.stats.prefetched_bytes += nbytes
-        counter = self._fetch_counter
-        if counter is None:
-            counter = self._fetch_counter = self.metrics.counter(
-                "fuse.fetch.bytes"
-            )
-        counter.total += nbytes
-        counter.count += 1
+            entry.prefetched = True
+        else:
+            elapsed = self._engine.now - fill_start
+            if from_l2:
+                self.stats.l2_fills += 1
+                self.stats.l2_fill_seconds += elapsed
+            else:
+                self.stats.store_fills += 1
+                self.stats.store_fill_seconds += elapsed
 
     def _hit(self, key: tuple[str, int], entry: _Entry) -> None:
         """Bookkeeping for a resident entry taken on the no-yield fast
@@ -483,6 +930,8 @@ class ChunkCache:
         self._tick += 1
         entry.lru = self._tick
         entry.pins += 1
+        if self._policy is not None:
+            self._policy.record_hit(key)
         self.stats.hits += 1
         counter = self._hits_counter
         if counter is None:
@@ -491,6 +940,17 @@ class ChunkCache:
             )
         counter.total += 1.0
         counter.count += 1
+        if entry.prefetched:
+            entry.prefetched = False
+            self.stats.prefetch_hits += 1
+            counter = self._c_pf_useful
+            if counter is not None:
+                counter.total += 1.0
+                counter.count += 1
+        counter = self._c_l1_hits
+        if counter is not None:
+            counter.total += 1.0
+            counter.count += 1
 
     # ------------------------------------------------------------------
     # Public read/write (byte ranges within one chunk)
@@ -518,6 +978,8 @@ class ChunkCache:
             counter.count += 1
             if self.readahead_chunks:
                 self._maybe_readahead(path, index)
+            elif self._prefetcher is not None:
+                self._issue_prefetches(path, index)
             # Serving from the cache is still a DRAM copy, not free.
             # Inlined StorageDevice.access (DRAM has no _pre_access hook;
             # event-for-event identical, one generator hop less).
@@ -571,6 +1033,8 @@ class ChunkCache:
             counter.count += 1
             if self.readahead_chunks:
                 self._maybe_readahead(path, index)
+            elif self._prefetcher is not None:
+                self._issue_prefetches(path, index)
             # Inlined StorageDevice.access (event-for-event identical):
             # the page cache resumes through this frame for every page
             # run it faults, so the extra generator hop is worth skipping.
@@ -610,6 +1074,28 @@ class ChunkCache:
                 break
             self._engine.process(self._prefetch(path, nxt))
 
+    def _issue_prefetches(self, path: str, index: int) -> None:
+        """Adaptive read-ahead: ask the pattern detector what to pull.
+
+        Asynchronous like :meth:`_maybe_readahead`; the detector already
+        tracks its own frontier, so chunks it plans are issued at most
+        once per run (residency/in-flight checks cover re-detection
+        after a run reset).
+        """
+        targets = self._prefetcher.plan(path, index)
+        if not targets:
+            return
+        nchunks = -(-self.client.file_size(path) // self.chunk_size)
+        for nxt in targets:
+            if (
+                nxt < 0
+                or nxt >= nchunks
+                or (path, nxt) in self._entries
+                or (path, nxt) in self._inflight
+            ):
+                continue
+            self._engine.process(self._prefetch(path, nxt))
+
     def _prefetch(self, path: str, index: int) -> Generator[Event, object, None]:
         """Background read-ahead of one chunk (failures are harmless —
         the file may be unlinked while the prefetch is in flight)."""
@@ -618,7 +1104,12 @@ class ChunkCache:
                 path, index, fetch=True, count_stats=False, prefetch=True
             )
             entry.pins -= 1
+            self.stats.prefetches += 1
             self.metrics.add("fuse.cache.prefetches")
+            counter = self._c_pf_issued
+            if counter is not None:
+                counter.total += 1.0
+                counter.count += 1
         except Exception:  # noqa: BLE001 - prefetch is best-effort
             pass
 
@@ -650,6 +1141,11 @@ class ChunkCache:
                 buf = entry.data = bytearray(self.chunk_size)
             buf[offset : offset + length] = data
             entry.dirty.add(offset, offset + length)
+            if self._l2 is not None:
+                stale = entry.l2_stale
+                if stale is None:
+                    stale = entry.l2_stale = IntervalSet()
+                stale.add(offset, offset + length)
             counter = self._write_counter
             if counter is None:
                 counter = self._write_counter = self.metrics.counter(
@@ -719,6 +1215,11 @@ class ChunkCache:
                     buf = entry.data = bytearray(self.chunk_size)
                 buf[offset : offset + length] = data
                 entry.dirty.add(offset, offset + length)
+                if self._l2 is not None:
+                    stale = entry.l2_stale
+                    if stale is None:
+                        stale = entry.l2_stale = IntervalSet()
+                    stale.add(offset, offset + length)
                 counter = self._write_counter
                 if counter is None:
                     counter = self._write_counter = self.metrics.counter(
@@ -796,5 +1297,13 @@ class ChunkCache:
         bucket = self._by_path.pop(path, None)
         if bucket:
             entries = self._entries
+            policy = self._policy
             for index in bucket:
                 del entries[(path, index)]
+                if policy is not None:
+                    policy.record_remove((path, index))
+        if self._l2 is not None:
+            self._l2.drop_path(path)
+            self._inval_gen[path] = self._inval_gen.get(path, 0) + 1
+        if self._prefetcher is not None:
+            self._prefetcher.forget(path)

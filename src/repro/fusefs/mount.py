@@ -47,6 +47,10 @@ class FuseMount:
         dirty_page_writeback: bool = True,
         readahead_chunks: int = 0,
         daemon_threads: int = 1,
+        cache_policy: str = "lru",
+        local_cache_bytes: int = 0,
+        prefetch: str = "fixed",
+        prefetch_depth: int = 8,
         metrics: MetricsRecorder | None = None,
     ) -> None:
         self.node = node
@@ -63,6 +67,10 @@ class FuseMount:
             dirty_page_writeback=dirty_page_writeback,
             readahead_chunks=readahead_chunks,
             daemon_threads=daemon_threads,
+            policy=cache_policy,
+            local_cache_bytes=local_cache_bytes,
+            prefetch=prefetch,
+            prefetch_depth=prefetch_depth,
             metrics=self.metrics,
         )
         self.chunk_size = chunk_size

@@ -1,0 +1,114 @@
+"""Per-file access-pattern detection for chunk read-ahead.
+
+Replaces the fixed ``readahead_chunks`` window with a detector that
+earns its prefetch depth: each file tracks the delta between successive
+demand-read chunk indices, and only a *run* of repeats — sequential
+(delta +1/-1) or strided (any constant delta) — triggers read-ahead.
+
+Ramp rules:
+
+- a run must reach ``min_run`` accesses before the first prefetch
+  (confidence gate: two points make a coincidence, three make a line);
+- depth then doubles per confirming access — 1, 2, 4, ... up to
+  ``max_depth`` — so a long sequential scan quickly keeps ``max_depth``
+  chunks in flight while a short one wastes almost nothing;
+- any delta change resets the run, which is the automatic shut-off:
+  random access (Table VII's randwrite) never completes a run, so it
+  issues *zero* prefetches instead of polluting the cache and the
+  daemon's fetch queue.
+
+The ``frontier`` per run marks the furthest chunk already scheduled, so
+overlapping plans never re-issue the same chunk.  The planner is pure
+bookkeeping — the cache decides what is actually issued (bounds,
+residency, in-flight checks) and runs the prefetches as background
+simulation processes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FuseError
+
+
+class _FileState:
+    """Run detection state for one file."""
+
+    __slots__ = ("last", "stride", "run", "frontier")
+
+    def __init__(self, index: int) -> None:
+        self.last = index
+        self.stride = 0
+        self.run = 1
+        # Furthest chunk index already scheduled for the current run.
+        self.frontier = index
+
+
+class PatternPrefetcher:
+    """Sequential/strided run detector with confidence-ramped depth."""
+
+    def __init__(self, *, max_depth: int = 8, min_run: int = 3) -> None:
+        if max_depth < 1:
+            raise FuseError(f"max_depth must be >= 1, got {max_depth}")
+        if min_run < 2:
+            raise FuseError(f"min_run must be >= 2, got {min_run}")
+        self.max_depth = max_depth
+        self.min_run = min_run
+        self._files: dict[str, _FileState] = {}
+
+    def plan(self, path: str, index: int) -> list[int]:
+        """Chunk indices to prefetch after a demand access of ``index``.
+
+        Returns an empty list until a run is confirmed; afterwards, the
+        next ``depth`` multiples of the stride past the current frontier
+        (possibly out of file bounds — the caller filters).
+        """
+        state = self._files.get(path)
+        if state is None:
+            self._files[path] = _FileState(index)
+            return []
+        delta = index - state.last
+        if delta == 0:
+            # Re-access of the same chunk: neither confirms nor breaks
+            # the run (intra-chunk page faults land here).
+            return []
+        state.last = index
+        if delta != state.stride:
+            # New candidate stride: restart the run at this access.
+            state.stride = delta
+            state.run = 1
+            state.frontier = index
+            return []
+        state.run += 1
+        if state.run < self.min_run:
+            return []
+        # Confidence ramp: 1, 2, 4, ... chunks ahead, capped.
+        depth = min(self.max_depth, 1 << min(state.run - self.min_run, 30))
+        stride = state.stride
+        # Never schedule past the ramp window around the current access —
+        # the frontier only advances as demand confirms the run.
+        limit = index + stride * depth
+        targets: list[int] = []
+        while len(targets) < depth:
+            nxt = state.frontier + stride
+            if stride > 0 and nxt > limit:
+                break
+            if stride < 0 and nxt < limit:
+                break
+            state.frontier = nxt
+            targets.append(nxt)
+        return targets
+
+    def forget(self, path: str) -> None:
+        """Drop detection state for ``path`` (unlink/invalidate)."""
+        self._files.pop(path, None)
+
+    def state(self, path: str) -> dict[str, int] | None:
+        """Introspection for tests/metrics: the run state of ``path``."""
+        st = self._files.get(path)
+        if st is None:
+            return None
+        return {
+            "last": st.last,
+            "stride": st.stride,
+            "run": st.run,
+            "frontier": st.frontier,
+        }

@@ -38,6 +38,13 @@ class JobConfig:
     dirty_page_writeback: bool = True
     readahead_chunks: int = 0
     daemon_threads: int = 1
+    #: FUSE chunk-cache hierarchy knobs (see repro.fusefs.cache).  The
+    #: defaults — inline LRU, no local SSD tier, fixed readahead — are
+    #: the seed configuration and keep experiment digests bit-identical.
+    cache_policy: str = "lru"
+    local_cache_bytes: int = 0
+    prefetch: str = "fixed"
+    prefetch_depth: int = 8
     benefactor_contribution: int | None = None
     #: Chunk replication degree of the aggregate store.  1 (the default)
     #: is the paper's unreplicated layout and preserves the seed's
@@ -149,6 +156,10 @@ class Job:
                 dirty_page_writeback=config.dirty_page_writeback,
                 readahead_chunks=config.readahead_chunks,
                 daemon_threads=config.daemon_threads,
+                cache_policy=config.cache_policy,
+                local_cache_bytes=config.local_cache_bytes,
+                prefetch=config.prefetch,
+                prefetch_depth=config.prefetch_depth,
                 metrics=self.cluster.metrics,
             )
 
@@ -173,6 +184,15 @@ class Job:
             chunk.writeback_bytes += cs.writeback_bytes
             chunk.evictions += cs.evictions
             chunk.dirty_evictions += cs.dirty_evictions
+            chunk.l2_hits += cs.l2_hits
+            chunk.prefetch_hits += cs.prefetch_hits
+            chunk.prefetches += cs.prefetches
+            chunk.l2_spill_bytes += cs.l2_spill_bytes
+            chunk.l2_promote_bytes += cs.l2_promote_bytes
+            chunk.store_fills += cs.store_fills
+            chunk.l2_fills += cs.l2_fills
+            chunk.store_fill_seconds += cs.store_fill_seconds
+            chunk.l2_fill_seconds += cs.l2_fill_seconds
             ps = nvm.pagecache.stats
             page.hits += ps.hits
             page.misses += ps.misses

@@ -203,13 +203,21 @@ class StoreClient:
     # Data path
     # ------------------------------------------------------------------
     def _fetch_failover(
-        self, name: str, index: int, chunk_off: int, length: int
+        self, name: str, index: int, chunk_off: int, length: int,
+        purpose: str = "demand",
     ) -> Generator[Event, object, bytearray]:
         """Dispatch :meth:`_fetch_failover_impl`, spanned when tracing is on."""
         gen = self._fetch_failover_impl(name, index, chunk_off, length)
         tracer = self.node.engine.tracer
         if tracer is None:
             return gen
+        # Demand fetches keep the seed's exact attribute set; only
+        # non-default purposes (prefetch) annotate the span.
+        if purpose != "demand":
+            return tracer.wrap(
+                "store.client", "fetch", gen,
+                path=name, index=index, bytes=length, purpose=purpose,
+            )
         return tracer.wrap(
             "store.client", "fetch", gen,
             path=name, index=index, bytes=length,
@@ -264,15 +272,19 @@ class StoreClient:
         counter.count += 1
         return b"".join(parts)
 
-    def read_chunk(self, name: str, index: int) -> Generator[Event, object, bytearray]:
+    def read_chunk(
+        self, name: str, index: int, *, purpose: str = "demand"
+    ) -> Generator[Event, object, bytearray]:
         """Read one whole chunk (the FUSE layer's fetch granularity).
 
         Returns a fresh buffer the caller owns outright (the chunk cache
-        adopts it as an entry payload without another copy).
+        adopts it as an entry payload without another copy).  ``purpose``
+        labels the fetch span when tracing is on ("demand"/"prefetch");
+        it changes no simulated behaviour.
         """
         meta = self.manager.lookup(name)
         length = min(self.chunk_size, meta.size - index * self.chunk_size)
-        data = yield from self._fetch_failover(name, index, 0, length)
+        data = yield from self._fetch_failover(name, index, 0, length, purpose)
         counter = self._read_counter
         if counter is None:
             counter = self._read_counter = self.metrics.counter(
