@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test test-faults test-obs test-cache cache-ablation bench bench-wallclock profile trace experiments experiments-par examples clean
+.PHONY: install test test-faults test-obs test-cache cache-ablation bench bench-wallclock bench-floor bench-shards profile trace experiments experiments-par examples clean
 
 install:
 	pip install -e .
@@ -20,6 +20,18 @@ bench-wallclock:
 	PYTHONPATH=src python tools/bench_wallclock.py \
 		--baseline benchmarks/BENCH_wallclock_seed.json --repeat 3
 	PYTHONPATH=src pytest benchmarks/test_wallclock_stack.py -m wallclock
+
+# Gate a fresh run's kernel throughput against the committed benchmark
+# (floors derive from BENCH_wallclock.json's events_per_second figures).
+bench-floor:
+	PYTHONPATH=src python tools/bench_wallclock.py --output /tmp/bench_fresh.json
+	python tools/check_bench_floor.py /tmp/bench_fresh.json
+
+# Record the sharded-run scaling curve: the scaleout scenario at workers
+# {1,2,4}, failing unless every worker count digests bit-identically.
+bench-shards:
+	PYTHONPATH=src python tools/bench_wallclock.py --shards-bench \
+		--workloads --output BENCH_shards.json
 
 profile:
 	PYTHONPATH=src python tools/profile_stack.py --limit 25

@@ -25,6 +25,7 @@ from repro.experiments.explicit import explicit_vs_swap
 from repro.experiments.faults import faults
 from repro.experiments.parallel import Orchestrator, RunOutcome, check_identity
 from repro.experiments.resultcache import ResultCache
+from repro.experiments.scaleout import scaleout
 
 __all__ = [
     "ExperimentReport",
@@ -46,6 +47,7 @@ __all__ = [
     "fig4",
     "fig5",
     "fig6",
+    "scaleout",
     "table1",
     "table3",
     "table4",

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.configs import SMALL, ExperimentScale
-from repro.experiments.report import ExperimentReport
+from repro.experiments.report import MIN_PREFETCH_SAMPLES, ExperimentReport
 from repro.experiments.runner import Testbed
 from repro.fusefs.cache import CacheStats
 from repro.util.units import MiB
@@ -191,7 +191,7 @@ def cache_tiering(scale: ExperimentScale = SMALL) -> ExperimentReport:
                 f"{100 * chunk.l2_hit_rate:.1f}" if chunk.l2_hits else "-",
                 (
                     f"{100 * chunk.prefetch_accuracy:.1f}"
-                    if chunk.prefetches
+                    if chunk.prefetches >= MIN_PREFETCH_SAMPLES
                     else "-"
                 ),
                 round(leg.store_read / MiB, 3),

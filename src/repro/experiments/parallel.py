@@ -35,6 +35,7 @@ from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
 from repro.experiments.report import ExperimentReport
 from repro.experiments.resultcache import ResultCache, code_fingerprint, result_key
 from repro.experiments.runner import Testbed, track_testbeds
+from repro.experiments.scaleout import scaleout
 from repro.experiments.tables import (
     checkpoint_experiment,
     table1,
@@ -65,6 +66,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentReport], str]] = {
     "cache_tiering": (
         cache_tiering,
         "Client cache hierarchy ablation: lru-vs-arc, tier on/off, prefetch",
+    ),
+    "scaleout": (
+        scaleout,
+        "Sharded checkpoint ingest under conservative lookahead-window sync",
     ),
 }
 

@@ -11,6 +11,13 @@ from repro.util.tables import render_table
 #: Bump when the digest payload layout changes (invalidates result caches).
 REPORT_SCHEMA = 1
 
+#: Below this many issued prefetches, "accuracy" is a coin flip, not a
+#: rate: a single dead readahead prints as a hard 0% (and one lucky hit
+#: as 100%) from a 1-sample population, polluting comparisons between
+#: configurations.  Reports suppress the accuracy figure until at least
+#: this many prefetches were issued; issued/hit counts are still shown.
+MIN_PREFETCH_SAMPLES = 8
+
 
 @dataclass
 class ExperimentReport:
@@ -66,10 +73,15 @@ class ExperimentReport:
                     f"misses ({chunk.l2_hits} hits, "
                     f"{chunk.l2_promote_bytes / 2**20:.1f} MiB promoted)"
                 )
-            if chunk.prefetches:
+            if chunk.prefetches >= MIN_PREFETCH_SAMPLES:
                 line += (
                     f", prefetch accuracy {100 * chunk.prefetch_accuracy:.1f}%"
                     f" ({chunk.prefetch_hits}/{chunk.prefetches})"
+                )
+            elif chunk.prefetches:
+                line += (
+                    f", prefetches {chunk.prefetch_hits}/{chunk.prefetches} "
+                    f"(too few for an accuracy figure)"
                 )
             line += f", wrote back {chunk.writeback_bytes / 2**20:.1f} MiB"
             self.cache_lines.append(line)

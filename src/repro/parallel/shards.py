@@ -1,0 +1,356 @@
+"""Sharded single-run execution with conservative lookahead-window sync.
+
+The orchestrator (``repro.experiments.parallel``) parallelizes *across*
+experiments; this module parallelizes *within* one large simulation.  The
+model is partitioned by node group into shards, each owning a private
+:class:`~repro.sim.engine.Engine` and its nodes' resources.  The only
+cross-shard coupling is the network fabric, and every cross-shard message
+takes at least the link's one-way propagation latency ``L`` to arrive.
+That bound is the classic conservative-PDES lookahead:
+
+    A shard executing the window ``[T, T + L)`` can only *send* messages
+    with ``send_time >= T``, which therefore arrive at
+    ``recv_time >= T + L`` — never inside the window being executed.
+
+So the runner advances all shards in lockstep windows of length ``L``:
+deliver every in-flight message due before the window's horizon, run each
+shard's engine to the horizon, collect the messages it emitted, barrier,
+route, repeat.  No shard ever sees an event out of order, which makes the
+execution **bit-identical regardless of how many OS processes execute
+it** — worker count is a wall-clock knob (``--shards N``), never a model
+parameter.  Windows with no scheduled activity are skipped by jumping the
+window start to the earliest pending event or delivery.
+
+Determinism rules (the invariants the shard-identity tests pin):
+
+- messages delivered into a shard within one window are sorted by
+  ``(recv_time, send_time, src_shard, seq)`` before being scheduled as a
+  batch (:meth:`~repro.sim.engine.Engine.schedule_batch`), so arrival
+  order never depends on worker scheduling;
+- shard models are built and advanced in shard-id order within each
+  worker, and each shard's engine is fully isolated;
+- worker assignment is round-robin by shard id, but since each shard
+  sees an identical (inbound, horizon) sequence either way, the worker
+  count cannot influence any virtual result.
+
+Shard *models* are built inside the worker that owns them (simulation
+object graphs do not pickle); a :class:`ShardSpec` carries a dotted
+``module:function`` builder path plus plain-data parameters, which is all
+that crosses process boundaries besides the message tuples themselves.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time as _time
+from dataclasses import dataclass, field
+from multiprocessing import Pipe
+from typing import Protocol
+
+from repro.errors import SimulationError
+from repro.network.link import LinkSpec
+
+#: Message tuple layout — plain data so it pickles fast and sorts
+#: deterministically: (recv_time, send_time, src_shard, seq, dst_shard,
+#: dst_node, kind, nbytes, req_id).
+RECV_TIME, SEND_TIME, SRC_SHARD, SEQ, DST_SHARD = 0, 1, 2, 3, 4
+DST_NODE, KIND, NBYTES, REQ_ID = 5, 6, 7, 8
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Plain-data description of a sharded run (picklable)."""
+
+    #: Model partitions.  Fixed by the scenario — NOT the worker count.
+    num_shards: int
+    nodes_per_shard: int
+    #: Dotted ``module:function`` path; called as ``builder(spec, shard_id)``
+    #: inside the owning worker to construct that shard's model.
+    builder: str
+    #: Cross-shard link (propagation latency == the lookahead window).
+    link: LinkSpec
+    #: Workload parameters interpreted by the builder.
+    timesteps: int = 2
+    chunks_per_step: int = 4
+    chunk_bytes: int = 256 * 1024
+    compute_seconds: float = 2e-3
+    ack_bytes: int = 4 * 1024
+    #: Benefactor-side SSD service model.
+    ssd_write_bandwidth: float = 170e6
+    ssd_latency: float = 75e-6
+
+    @property
+    def lookahead(self) -> float:
+        """The conservative window length: min cross-shard delivery delay."""
+        return self.link.latency
+
+
+class ShardModel(Protocol):
+    """What the window runner needs from a shard (see scaleout builder)."""
+
+    def deliver(self, messages: list[tuple]) -> None:
+        """Schedule sorted inbound messages as arrival events."""
+
+    def advance(self, horizon: float) -> None:
+        """Run this shard's engine up to ``horizon`` virtual seconds."""
+
+    def take_outbox(self) -> list[tuple]:
+        """Drain and return messages emitted since the last call."""
+
+    def next_time(self) -> float | None:
+        """Earliest pending local event time, or None when idle."""
+
+    def summary(self) -> dict:
+        """Plain-data result: counters, finish_time, events, done."""
+
+
+def resolve_builder(path: str):
+    """Import a ``module:function`` dotted builder path."""
+    module_name, _, func_name = path.partition(":")
+    if not func_name:
+        raise SimulationError(f"builder path {path!r} is not 'module:function'")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of one sharded run."""
+
+    #: Per-shard plain-data summaries, in shard-id order (digest input).
+    summaries: list[dict]
+    #: Virtual completion time: max over shards of program finish time.
+    makespan: float
+    #: Total events dispatched across every shard engine.
+    events: int
+    windows: int
+    workers: int
+    #: Wall-clock telemetry — NEVER fold into digests or report rows.
+    wall_seconds: float = 0.0
+    #: Sum over windows of (slowest worker − each worker): time workers
+    #: spent waiting at the window barrier.  If this dominates
+    #: ``wall_seconds``, the lookahead window is too small for the load.
+    barrier_wait_seconds: float = 0.0
+    window_walls: list[float] = field(default_factory=list)
+
+    @property
+    def barrier_share(self) -> float:
+        """Fraction of total worker-seconds lost to the window barrier."""
+        busy = self.wall_seconds * self.workers
+        return self.barrier_wait_seconds / busy if busy > 0 else 0.0
+
+
+class _SerialBackend:
+    """All shards advanced in-process — the reference execution."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        builder = resolve_builder(spec.builder)
+        self.models = [builder(spec, i) for i in range(spec.num_shards)]
+
+    @property
+    def worker_count(self) -> int:
+        return 1
+
+    def initial_times(self) -> dict[int, float | None]:
+        return {i: m.next_time() for i, m in enumerate(self.models)}
+
+    def window(
+        self, horizon: float, inbound: dict[int, list[tuple]]
+    ) -> tuple[dict[int, list[tuple]], dict[int, float | None], list[float]]:
+        start = _time.perf_counter()
+        out: dict[int, list[tuple]] = {}
+        times: dict[int, float | None] = {}
+        for i, model in enumerate(self.models):
+            messages = inbound.get(i)
+            if messages:
+                model.deliver(messages)
+            model.advance(horizon)
+            out[i] = model.take_outbox()
+            times[i] = model.next_time()
+        return out, times, [_time.perf_counter() - start]
+
+    def finish(self) -> list[dict]:
+        return [m.summary() for m in self.models]
+
+
+def _shard_worker(conn, spec: ShardSpec, shard_ids: list[int]) -> None:
+    """Persistent worker: owns ``shard_ids`` for the whole run."""
+    builder = resolve_builder(spec.builder)
+    models = {i: builder(spec, i) for i in sorted(shard_ids)}
+    conn.send({i: m.next_time() for i, m in models.items()})
+    while True:
+        message = conn.recv()
+        tag = message[0]
+        if tag == "window":
+            _, horizon, inbound = message
+            start = _time.perf_counter()
+            out: dict[int, list[tuple]] = {}
+            times: dict[int, float | None] = {}
+            for i, model in models.items():  # insertion order == shard order
+                msgs = inbound.get(i)
+                if msgs:
+                    model.deliver(msgs)
+                model.advance(horizon)
+                out[i] = model.take_outbox()
+                times[i] = model.next_time()
+            conn.send((out, times, _time.perf_counter() - start))
+        elif tag == "finish":
+            conn.send({i: m.summary() for i, m in models.items()})
+            conn.close()
+            return
+
+
+class _ProcessBackend:
+    """Shards spread round-robin over persistent worker processes."""
+
+    def __init__(self, spec: ShardSpec, workers: int) -> None:
+        from repro.experiments.parallel import mp_context
+
+        ctx = mp_context()
+        if ctx is None:  # pragma: no cover - non-fork platforms
+            import multiprocessing as ctx  # type: ignore[no-redef]
+        self.assignment = [
+            [i for i in range(spec.num_shards) if i % workers == w]
+            for w in range(workers)
+        ]
+        self._conns = []
+        self._procs = []
+        for shard_ids in self.assignment:
+            parent_conn, child_conn = Pipe()
+            proc = ctx.Process(
+                target=_shard_worker, args=(child_conn, spec, shard_ids)
+            )
+            proc.daemon = True
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._procs)
+
+    def initial_times(self) -> dict[int, float | None]:
+        times: dict[int, float | None] = {}
+        for conn in self._conns:
+            times.update(conn.recv())
+        return times
+
+    def window(
+        self, horizon: float, inbound: dict[int, list[tuple]]
+    ) -> tuple[dict[int, list[tuple]], dict[int, float | None], list[float]]:
+        for conn, shard_ids in zip(self._conns, self.assignment):
+            sub = {i: inbound[i] for i in shard_ids if i in inbound}
+            conn.send(("window", horizon, sub))
+        out: dict[int, list[tuple]] = {}
+        times: dict[int, float | None] = {}
+        walls: list[float] = []
+        for conn in self._conns:
+            worker_out, worker_times, wall = conn.recv()
+            out.update(worker_out)
+            times.update(worker_times)
+            walls.append(wall)
+        return out, times, walls
+
+    def finish(self) -> list[dict]:
+        for conn in self._conns:
+            conn.send(("finish",))
+        summaries: dict[int, dict] = {}
+        for conn, proc in zip(self._conns, self._procs):
+            summaries.update(conn.recv())
+            conn.close()
+            proc.join(timeout=30)
+        return [summaries[i] for i in sorted(summaries)]
+
+
+def run_sharded(spec: ShardSpec, workers: int = 1) -> ShardRunResult:
+    """Execute a sharded simulation to completion.
+
+    ``workers`` picks the execution backend only: 1 runs every shard
+    in-process; N > 1 spreads the shards over N forked workers.  Virtual
+    results are identical either way (see module docstring).
+    """
+    if spec.num_shards < 1:
+        raise SimulationError("need at least one shard")
+    if spec.lookahead <= 0:
+        raise SimulationError(
+            "conservative sync needs a positive cross-shard latency "
+            "(the lookahead window would be empty)"
+        )
+    start = _time.perf_counter()
+    effective = max(1, min(workers, spec.num_shards))
+    backend = (
+        _SerialBackend(spec)
+        if effective == 1
+        else _ProcessBackend(spec, effective)
+    )
+    lookahead = spec.lookahead
+    times = backend.initial_times()
+    inflight: list[tuple] = []
+    windows = 0
+    barrier_wait = 0.0
+    window_walls: list[float] = []
+    while True:
+        pending = [t for t in times.values() if t is not None]
+        pending.extend(m[RECV_TIME] for m in inflight)
+        if not pending:
+            break
+        window_start = min(pending)
+        horizon = window_start + lookahead
+        inbound: dict[int, list[tuple]] = {}
+        still_flying: list[tuple] = []
+        for message in inflight:
+            if message[RECV_TIME] < horizon:
+                inbound.setdefault(message[DST_SHARD], []).append(message)
+            else:
+                still_flying.append(message)
+        inflight = still_flying
+        for messages in inbound.values():
+            # Tuple order sorts by (recv_time, send_time, src_shard, seq):
+            # the deterministic delivery order, whatever worker produced
+            # each message first.
+            messages.sort()
+        out, times, walls = backend.window(horizon, inbound)
+        for messages in out.values():
+            inflight.extend(messages)
+        windows += 1
+        window_wall = max(walls)
+        window_walls.append(window_wall)
+        barrier_wait += window_wall * len(walls) - sum(walls)
+    summaries = backend.finish()
+    return ShardRunResult(
+        summaries=summaries,
+        makespan=max(
+            (s["finish_time"] for s in summaries if s["finish_time"] is not None),
+            default=0.0,
+        ),
+        events=sum(s["events"] for s in summaries),
+        windows=windows,
+        workers=backend.worker_count,
+        wall_seconds=_time.perf_counter() - start,
+        barrier_wait_seconds=barrier_wait,
+        window_walls=window_walls,
+    )
+
+
+def shard_workers_from_env(default: int = 1) -> int:
+    """The ``--shards`` knob: worker count from ``$REPRO_SHARDS``.
+
+    Execution-only — experiment digests are invariant to this value.
+    """
+    import os
+
+    raw = os.environ.get("REPRO_SHARDS", "")
+    try:
+        return max(1, int(raw)) if raw else default
+    except ValueError:
+        return default
+
+
+__all__ = [
+    "ShardModel",
+    "ShardRunResult",
+    "ShardSpec",
+    "resolve_builder",
+    "run_sharded",
+    "shard_workers_from_env",
+]

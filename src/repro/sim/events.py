@@ -15,6 +15,13 @@ Hot-path design notes (see docs/INTERNALS.md, "Event kernel"):
   the heap: no sequence number, no entry tuple, no heap sift.  The ring
   is FIFO, which is exactly the schedule-order tie-break the heap's
   ``seq`` field exists to provide.
+
+- The engine's run loop drains each queue in uninterrupted runs (see
+  ``engine.py``): the heap's run of events at the current instant, then
+  the ring with no per-event heap probe.  The invariant making that
+  legal lives here: every trigger that lands at ``time <= now`` goes to
+  the ring, so the heap never acquires entries at the current instant
+  while that instant is being processed.
 """
 
 from __future__ import annotations

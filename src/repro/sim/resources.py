@@ -99,9 +99,13 @@ class Resource:
         req: Request | None = None
         if pool:
             candidate = pool.pop()
-            # Recycle only if the pool held the last reference (the local
-            # binding plus getrefcount's argument make exactly two).
-            if _getrefcount(candidate) == 2:
+            # Recycle only if the pool held the last reference.  A granted
+            # request's value is the request itself, so the self-reference
+            # adds one to the expected count (local binding + getrefcount
+            # argument + self-ref); a cancelled-then-parked request has no
+            # grant value and expects two.
+            expected = 3 if candidate._value is candidate else 2
+            if _getrefcount(candidate) == expected:
                 req = candidate
                 req.callbacks = None
                 req._value = _PENDING
@@ -113,8 +117,9 @@ class Resource:
         users = self._users
         if len(users) < self.capacity:
             now = engine._now
-            self._busy_time += self._last_users * (now - self._last_change)
-            self._last_change = now
+            if now != self._last_change:
+                self._busy_time += self._last_users * (now - self._last_change)
+                self._last_change = now
             users.add(req)
             self._last_users += 1
             # Inline Event.succeed without its already-triggered/delay
@@ -137,8 +142,9 @@ class Resource:
             ) from None
         engine = self.engine
         now = engine._now
-        self._busy_time += self._last_users * (now - self._last_change)
-        self._last_change = now
+        if now != self._last_change:
+            self._busy_time += self._last_users * (now - self._last_change)
+            self._last_change = now
         queue = self._queue
         if queue:
             capacity = self.capacity

@@ -16,6 +16,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import TINY, cache_tiering, check_identity
+from repro.experiments.report import MIN_PREFETCH_SAMPLES
 
 pytestmark = pytest.mark.cache
 
@@ -77,9 +78,18 @@ def test_adaptive_prefetch_shuts_off_on_randwrite(report):
     # at most a handful of prefetches (the verify pass has a short
     # sequential tail), where a fixed window would fire on every read.
     line = cache_line(report, "randwrite/arc+l2+pf")
-    match = re.search(r"prefetch accuracy [\d.]+% \(\d+/(\d+)\)", line)
-    issued = int(match.group(1)) if match else 0
+    match = re.search(
+        r"prefetch accuracy [\d.]+% \(\d+/(\d+)\)"
+        r"|prefetches \d+/(\d+)",
+        line,
+    )
+    issued = int(match.group(1) or match.group(2)) if match else 0
     assert issued <= 5, line
+    # With fewer than MIN_PREFETCH_SAMPLES issued, the report must not
+    # print a percentage: one dead readahead is not a 0% accuracy rate.
+    if 0 < issued < MIN_PREFETCH_SAMPLES:
+        assert "prefetch accuracy" not in line, line
+        assert leg(report, "randwrite", "arc+l2+pf")[6] == "-"
 
 
 def test_digest_stable_across_repeats(report):

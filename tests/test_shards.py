@@ -1,0 +1,151 @@
+"""Sharded single-run execution: worker-count invariance and window math.
+
+The contract under test (``repro/parallel/shards.py``): the worker count
+is an execution knob only.  Whatever number of OS processes executes the
+fixed set of model partitions, every virtual quantity — summaries,
+makespan, event counts, report digests — must be bit-identical, because
+the conservative lookahead window guarantees no shard ever sees a
+cross-shard message out of order.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import TINY, scaleout
+from repro.experiments.scaleout import CROSS_SHARD_LINK, _build_report, spec_for
+from repro.network.link import LinkSpec
+from repro.parallel.shards import (
+    RECV_TIME,
+    SEND_TIME,
+    ShardSpec,
+    run_sharded,
+    shard_workers_from_env,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_spec() -> ShardSpec:
+    return spec_for(TINY)
+
+
+@pytest.fixture(scope="module")
+def serial_result(tiny_spec):
+    return run_sharded(tiny_spec, workers=1)
+
+
+def test_run_completes_and_accounts_every_chunk(serial_result, tiny_spec):
+    totals = {"chunks_sent": 0, "chunks_stored": 0, "acks_received": 0}
+    for summary in serial_result.summaries:
+        assert summary["done"], summary
+        for key in totals:
+            totals[key] += summary["counters"][key]
+    expected = (
+        tiny_spec.num_shards
+        * tiny_spec.nodes_per_shard
+        * tiny_spec.timesteps
+        * tiny_spec.chunks_per_step
+    )
+    assert totals == {
+        "chunks_sent": expected,
+        "chunks_stored": expected,
+        "acks_received": expected,
+    }
+    assert serial_result.makespan > 0
+    assert serial_result.windows > 0
+
+
+@pytest.mark.parametrize("workers", [2, 3, 4])
+def test_worker_count_is_execution_only(serial_result, tiny_spec, workers):
+    """Process fan-out must not change a single virtual quantity."""
+    result = run_sharded(tiny_spec, workers=workers)
+    assert result.summaries == serial_result.summaries
+    assert result.makespan == serial_result.makespan
+    assert result.events == serial_result.events
+    assert result.windows == serial_result.windows
+    assert result.workers == min(workers, tiny_spec.num_shards)
+
+
+def test_report_digest_invariant_across_worker_counts(tiny_spec):
+    digests = {
+        _build_report(tiny_spec, run_sharded(tiny_spec, workers=w)).digest()
+        for w in (1, 2, 4)
+    }
+    assert len(digests) == 1
+
+
+def test_experiment_driver_ignores_repro_shards_env(monkeypatch):
+    """The --shards knob (via $REPRO_SHARDS) is digest-neutral."""
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    baseline = scaleout(TINY)
+    monkeypatch.setenv("REPRO_SHARDS", "3")
+    fanned = scaleout(TINY)
+    assert fanned.digest() == baseline.digest()
+    assert baseline.verified and fanned.verified
+
+
+def test_messages_respect_the_lookahead_bound(tiny_spec):
+    """Every cross-shard message arrives one lookahead after sending.
+
+    ``recv = send + L`` in the same IEEE arithmetic the runner uses for
+    its horizon (``T + L``), and float addition is monotonic in ``send``,
+    so ``send >= T`` implies ``recv >= horizon`` — the conservative-sync
+    guarantee.  (Checking ``recv - send >= L`` instead would be wrong:
+    the subtraction can round below ``L``.)"""
+    from repro.experiments.scaleout import build_shard
+
+    shard = build_shard(tiny_spec, 0)
+    shard.advance(10.0)  # plenty to emit the first burst
+    outbox = shard.take_outbox()
+    assert outbox
+    for message in outbox:
+        assert message[RECV_TIME] == message[SEND_TIME] + tiny_spec.lookahead
+        assert message[RECV_TIME] > message[SEND_TIME]
+
+
+def test_single_shard_degenerate_case_self_stripes():
+    spec = spec_for(TINY.with_(scaleout_shards=1))
+    result = run_sharded(spec, workers=4)  # clamps to the shard count
+    assert result.workers == 1
+    assert all(s["done"] for s in result.summaries)
+
+
+def test_zero_lookahead_is_rejected():
+    dead_link = LinkSpec(
+        name="no-latency", bandwidth=CROSS_SHARD_LINK.bandwidth, latency=0.0
+    )
+    spec = ShardSpec(
+        num_shards=2,
+        nodes_per_shard=1,
+        builder="repro.experiments.scaleout:build_shard",
+        link=dead_link,
+    )
+    with pytest.raises(SimulationError):
+        run_sharded(spec)
+    with pytest.raises(SimulationError):
+        run_sharded(spec_for(TINY).__class__(**{
+            **spec_for(TINY).__dict__, "num_shards": 0,
+        }))
+
+
+def test_shard_workers_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert shard_workers_from_env() == 1
+    assert shard_workers_from_env(default=4) == 4
+    monkeypatch.setenv("REPRO_SHARDS", "6")
+    assert shard_workers_from_env() == 6
+    monkeypatch.setenv("REPRO_SHARDS", "0")
+    assert shard_workers_from_env() == 1  # clamped
+    monkeypatch.setenv("REPRO_SHARDS", "nonsense")
+    assert shard_workers_from_env(default=2) == 2
+
+
+def test_barrier_telemetry_is_populated(tiny_spec):
+    result = run_sharded(tiny_spec, workers=2)
+    assert result.wall_seconds > 0
+    assert len(result.window_walls) == result.windows
+    assert result.barrier_wait_seconds >= 0
+    assert 0.0 <= result.barrier_share < 1.0

@@ -162,6 +162,121 @@ def test_process_timing_and_values_match_reference(seed: int) -> None:
     assert actual_values == expected_values
 
 
+def _cohort_rounds(rng: random.Random):
+    """Random event soup in cohorts: rounds of (start_delay, [delays]).
+
+    Cohort sizes sweep 1..64 — the batched paths must be bit-identical
+    to the serial ones at every size, including the degenerate cohort of
+    one.
+    """
+    rounds = []
+    for _ in range(rng.randrange(4, 10)):
+        size = rng.randrange(1, 65)
+        rounds.append((
+            rng.choice(DELAY_POOL),
+            [rng.choice(DELAY_POOL) for _ in range(size)],
+        ))
+    return rounds
+
+
+def _cohort_run(rounds, batched: bool):
+    """Drive cohorts through schedule_batch or a per-event schedule loop.
+
+    The serial loop is the reference: existing tests in this file prove
+    it bit-identical to the naive one-heap kernel, so batched == serial
+    here extends that proof to the vectorized path.  Fired events spawn
+    zero-delay followers with a deterministic pattern so ring ordering
+    inside an instant is exercised too.
+    """
+    engine = Engine()
+    trace: list[tuple[float, object]] = []
+
+    def make(eid):
+        event = Event(engine)
+        event._value = eid
+        event._ok = True
+        event._scheduled = True
+        event.add_callback(lambda ev: fire(ev))
+        return event
+
+    def fire(event) -> None:
+        eid = event._value
+        trace.append((engine.now, eid))
+        round_idx, i = eid[0], eid[1]
+        if len(eid) == 2 and i % 7 == 0:  # follower inside the instant
+            follower = make((round_idx, i, "follower"))
+            if batched:
+                engine.schedule_batch([follower], [0.0])
+            else:
+                engine.schedule(follower, 0.0)
+
+    def driver():
+        for round_idx, (start, delays) in enumerate(rounds):
+            yield engine.timeout(start)
+            events = [make((round_idx, i)) for i in range(len(delays))]
+            if batched:
+                engine.schedule_batch(events, delays)
+            else:
+                for event, delay in zip(events, delays):
+                    engine.schedule(event, delay)
+
+    engine.process(driver())
+    engine.run()
+    return trace, engine.events_processed
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_schedule_batch_matches_serial_schedule(seed: int) -> None:
+    rounds = _cohort_rounds(random.Random(2000 + seed))
+    serial = _cohort_run(rounds, batched=False)
+    vectorized = _cohort_run(rounds, batched=True)
+    assert vectorized == serial
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 16, 64])
+def test_timeouts_cohort_matches_timeout_loop(size: int) -> None:
+    """engine.timeouts(delays) == [engine.timeout(d) for d in delays]."""
+    rng = random.Random(size)
+    delays = [rng.choice(DELAY_POOL) for _ in range(size)]
+
+    def run(bulk: bool):
+        engine = Engine()
+        trace: list[tuple[float, int]] = []
+
+        def driver():
+            yield engine.timeout(0.5)  # non-zero now: exercises now+delay
+            if bulk:
+                timeouts = engine.timeouts(delays)
+            else:
+                timeouts = [engine.timeout(d) for d in delays]
+            for i, timeout in enumerate(timeouts):
+                timeout.add_callback(
+                    lambda _e, i=i: trace.append((engine.now, i))
+                )
+            yield engine.timeout(10.0)  # outlive every cohort member
+
+        engine.run(engine.process(driver()))
+        return trace, engine.events_processed
+
+    assert run(bulk=True) == run(bulk=False)
+
+
+def test_schedule_batch_rejects_bad_input() -> None:
+    from repro.errors import SimulationError
+
+    engine = Engine()
+    events = [Event(engine), Event(engine)]
+    for event in events:
+        event._ok = True
+        event._scheduled = True
+    with pytest.raises(SimulationError):
+        engine.schedule_batch(events, [0.0])  # length mismatch
+    with pytest.raises(SimulationError):
+        engine.schedule_batch(events, [0.0, -1.0])  # into the past
+    with pytest.raises(SimulationError):
+        engine.timeouts([0.5, -0.5])
+
+
 def test_tiny_delay_rounds_onto_the_ring_in_seq_order() -> None:
     """A delay too small to advance the float clock fires at ``now`` —
     after heap entries already at ``now``, in schedule order, exactly as

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Events-per-second regression floor against the committed benchmark.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_wallclock.py --output fresh.json
+    python tools/check_bench_floor.py fresh.json \
+        --committed BENCH_wallclock.json --min-ratio 0.4
+
+The committed ``BENCH_wallclock.json`` records each workload's kernel
+throughput (``events_per_second``) on the machine that produced it.  A
+fresh run must reach at least ``min_ratio`` of that figure per workload,
+or this script exits non-zero — a cheap tripwire against kernel
+slowdowns that virtual-identity gates cannot see (they only prove the
+*result* is unchanged, not that it still arrives quickly).
+
+The ratio is deliberately generous because wall-clock throughput moves
+with the host: shared CI runners jitter, and a different core count or
+CPU generation shifts absolute numbers.  Both reports carry a ``host``
+block; when the core counts differ the script warns and applies
+``--cross-host-ratio`` (even more generous) instead.  The floor is
+derived from the committed file rather than hard-coded so improving the
+kernel automatically raises the bar at the next benchmark refresh.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_COMMITTED = "BENCH_wallclock.json"
+
+
+def workload_eps(report: dict) -> dict[str, float]:
+    """``{workload: events_per_second}`` for every workload that has one."""
+    return {
+        name: outcome["events_per_second"]
+        for name, outcome in report.get("workloads", {}).items()
+        if isinstance(outcome, dict) and "events_per_second" in outcome
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("fresh", help="JSON from a fresh bench_wallclock run")
+    parser.add_argument(
+        "--committed", default=DEFAULT_COMMITTED,
+        help=f"committed benchmark to derive floors from "
+             f"(default: {DEFAULT_COMMITTED})",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.4,
+        help="required fraction of the committed events/s, same-host "
+             "core count (default: 0.4)",
+    )
+    parser.add_argument(
+        "--cross-host-ratio", type=float, default=0.2,
+        help="required fraction when the host core counts differ "
+             "(default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    committed = json.loads(Path(args.committed).read_text())
+
+    ratio = args.min_ratio
+    fresh_cores = (fresh.get("host") or {}).get("cpu_count")
+    committed_cores = (committed.get("host") or {}).get("cpu_count")
+    if committed_cores is not None and fresh_cores != committed_cores:
+        print(
+            f"WARNING: committed benchmark ran on {committed_cores} cores, "
+            f"this run on {fresh_cores} — applying the cross-host ratio "
+            f"{args.cross_host_ratio} instead of {args.min_ratio}",
+            file=sys.stderr,
+        )
+        ratio = args.cross_host_ratio
+
+    floors = workload_eps(committed)
+    if not floors:
+        print(
+            f"ERROR: {args.committed} has no events_per_second entries",
+            file=sys.stderr,
+        )
+        return 2
+
+    current = workload_eps(fresh)
+    failed = []
+    for name, committed_eps in sorted(floors.items()):
+        if name not in current:
+            continue  # a subset run only gates what it ran
+        floor = committed_eps * ratio
+        eps = current[name]
+        verdict = "ok" if eps >= floor else "BELOW FLOOR"
+        print(
+            f"{name}: {eps / 1e6:.2f}M events/s "
+            f"(floor {floor / 1e6:.2f}M = {ratio:.0%} of committed "
+            f"{committed_eps / 1e6:.2f}M) [{verdict}]"
+        )
+        if eps < floor:
+            failed.append(name)
+    if failed:
+        print(
+            f"FAIL: events/s regression floor broken: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"PASS: {len(current)} workloads above the events/s floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
