@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test test-faults test-obs test-cache cache-ablation bench bench-wallclock bench-floor bench-shards profile trace experiments experiments-par examples clean
+.PHONY: install test test-faults test-obs test-cache cache-ablation bench bench-wallclock bench-floor bench-shards profile profile-layers trace experiments experiments-par examples clean
 
 install:
 	pip install -e .
@@ -25,7 +25,7 @@ bench-wallclock:
 # (floors derive from BENCH_wallclock.json's events_per_second figures).
 bench-floor:
 	PYTHONPATH=src python tools/bench_wallclock.py --output /tmp/bench_fresh.json
-	python tools/check_bench_floor.py /tmp/bench_fresh.json
+	python tools/check_bench_floor.py /tmp/bench_fresh.json --require-all
 
 # Record the sharded-run scaling curve: the scaleout scenario at workers
 # {1,2,4}, failing unless every worker count digests bit-identically.
@@ -35,6 +35,12 @@ bench-shards:
 
 profile:
 	PYTHONPATH=src python tools/profile_stack.py --limit 25
+
+# Per-(layer, op) virtual-time attribution from traced spans; diff two
+# dumps with `tools/profile_stack.py --layers --diff old.json`.
+profile-layers:
+	PYTHONPATH=src python tools/profile_stack.py --layers --scale tiny \
+		--layers-out /tmp/profile_layers.json
 
 # The tracing-identity gate (excluded from `make test` by the "not obs"
 # marker expression; CI runs it in the dedicated tracing job).

@@ -15,6 +15,12 @@ from dataclasses import dataclass
 
 from repro.errors import CapacityError, EnduranceExceededError
 
+#: Gate for the frontier bulk-write fast path in :meth:`FTL.write_pages`.
+#: The fast path is taken only when garbage collection provably cannot
+#: trigger, so flipping this off must not change any mapping, count, or
+#: returned GC work; tests fuzz that identity (tests/test_bulk_runs_fuzz.py).
+BULK_WRITE_RUNS = True
+
 
 @dataclass
 class FTLStats:
@@ -123,6 +129,43 @@ class FlashTranslationLayer:
         collection during this write burst, so the device model can charge
         the corresponding time.
         """
+        # Bulk-run fast path: when the frontier block has room for the
+        # whole run, every page lands at consecutive slots of that block
+        # and garbage collection cannot trigger (GC only runs when a new
+        # frontier must be picked).  Same mapping updates as the generic
+        # loop, minus the per-page allocator/GC bookkeeping.
+        n = len(lpns)
+        frontier = self._frontier
+        if (
+            n
+            and BULK_WRITE_RUNS
+            and frontier is not None
+            and self._write_ptr[frontier] + n <= self.pages_per_block
+        ):
+            logical = self.logical_pages
+            per_block = self.pages_per_block
+            l2p = self._l2p
+            p2l = self._p2l
+            valid = self._valid_counts
+            ppn = frontier * per_block + self._write_ptr[frontier]
+            for lpn in lpns:
+                if not 0 <= lpn < logical:
+                    raise CapacityError(
+                        f"logical page {lpn} out of range "
+                        f"(0..{logical - 1})"
+                    )
+                old = l2p.pop(lpn, None)
+                if old is not None:
+                    del p2l[old]
+                    valid[old // per_block] -= 1
+                l2p[lpn] = ppn
+                p2l[ppn] = lpn
+                ppn += 1
+            self._write_ptr[frontier] += n
+            valid[frontier] += n
+            self.stats.host_pages_written += n
+            self.stats.flash_pages_written += n
+            return (0, 0)
         relocated_before = self.stats.pages_relocated
         erases_before = self.stats.blocks_erased
         for lpn in lpns:

@@ -64,8 +64,10 @@ class HDD(StorageDevice):
         """
         if offset < 0 or nbytes < 0:
             raise DeviceError(f"{self.name}: bad extent ({offset}, {nbytes})")
-        req = self._channel.request()
-        yield req
+        req = self._channel.acquire_now()
+        if req is None:
+            req = self._channel.request()
+            yield req
         try:
             bw = (
                 self.spec.read_bw if kind is AccessKind.READ else self.spec.write_bw

@@ -107,8 +107,10 @@ class SSD(StorageDevice):
                     )
                 counter.total += gc_penalty
                 counter.count += 1
-        req = self._acquire()
-        yield req
+        req = self._acquire_now()
+        if req is None:
+            req = self._acquire()
+            yield req
         try:
             # Same Counter objects the size-only write path uses.
             bytes_counter, time_counter, time_fn = self._write_stats

@@ -35,9 +35,12 @@ identical to the seed (the digest-identity gate in CI enforces this).
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from collections.abc import Generator, Iterable
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.devices.base import AccessKind
 from repro.errors import FuseError
@@ -117,7 +120,7 @@ class _Entry:
 
     __slots__ = (
         "data", "dirty", "valid", "pins", "filling", "writeback", "lru",
-        "prefetched", "l2_stale",
+        "prefetched", "l2_stale", "shared",
     )
 
     def __init__(self, chunk_size: int) -> None:
@@ -153,6 +156,11 @@ class _Entry:
         # True from a prefetch fill until the first demand hit consumes
         # it — that hit is what makes the prefetch "useful".
         self.prefetched = False
+        # True while ``data`` is a zero-copy loan of the benefactor's
+        # live payload buffer (full-chunk fetch).  The first write must
+        # unshare (copy) — mutating a loan in place would silently edit
+        # the stored bytes.
+        self.shared = False
         # With the local tier on: byte ranges written since this entry
         # was created, i.e. how far the tier's shadow copy (if any) lags
         # behind.  ``dirty`` cannot serve — write-backs clear it while
@@ -349,15 +357,34 @@ class ChunkCache:
         return entry
 
     def _page_align(self, dirty: IntervalSet) -> list[tuple[int, int]]:
-        """Expand dirty byte ranges to page boundaries and re-coalesce."""
-        aligned = IntervalSet()
-        for start, stop in dirty:
-            page_start = (start // self.page_size) * self.page_size
-            page_stop = min(
-                -(-stop // self.page_size) * self.page_size, self.chunk_size
-            )
-            aligned.add(page_start, page_stop)
-        return list(aligned)
+        """Expand dirty byte ranges to page boundaries and re-coalesce.
+
+        One vectorized pass over the set's endpoint arrays: align every
+        range, then merge where an aligned start falls at or before its
+        predecessor's aligned stop (the coalescing an ``IntervalSet.add``
+        loop would have done).  The endpoints are sorted and disjoint, so
+        both aligned arrays are non-decreasing and a merged group's stop
+        is its last member's stop.
+        """
+        starts, stops = dirty.as_arrays()
+        n = len(starts)
+        if not n:
+            return []
+        ps = self.page_size
+        a = (starts // ps) * ps
+        b = np.minimum(-(-stops // ps) * ps, self.chunk_size)
+        if n == 1:
+            return [(int(a[0]), int(b[0]))]
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        np.greater(a[1:], b[:-1], out=keep[1:])
+        if keep.all():
+            return list(zip(a.tolist(), b.tolist()))
+        idx = np.flatnonzero(keep)
+        last = np.empty(len(idx), dtype=np.intp)
+        last[:-1] = idx[1:] - 1
+        last[-1] = n - 1
+        return list(zip(a[idx].tolist(), b[last].tolist()))
 
     def _make_room(self) -> Generator[Event, object, None]:
         policy = self._policy
@@ -446,8 +473,10 @@ class ChunkCache:
                     entry.dirty.clear()
                     nbytes = sum(len(payload) for _, payload in ranges)
                     try:
-                        req = self.daemon.request()
-                        yield req
+                        req = self.daemon.acquire_now()
+                        if req is None:
+                            req = self.daemon.request()
+                            yield req
                         try:
                             yield from self.client.write_chunk_ranges(
                                 vpath, vindex, ranges
@@ -532,8 +561,10 @@ class ChunkCache:
                 else:
                     l2.drop(key)
                 self._l2_unsettled.discard(key)
-                req = self.daemon.request()
-                yield req
+                req = self.daemon.acquire_now()
+                if req is None:
+                    req = self.daemon.request()
+                    yield req
                 try:
                     yield from self.client.write_chunk_ranges(
                         path, index, ranges
@@ -644,8 +675,10 @@ class ChunkCache:
         entry.dirty.clear()
         nbytes = sum(len(payload) for _, payload in ranges)
         try:
-            req = self.daemon.request()
-            yield req
+            req = self.daemon.acquire_now()
+            if req is None:
+                req = self.daemon.request()
+                yield req
             try:
                 yield from self.client.write_chunk_ranges(path, index, ranges)
             finally:
@@ -778,7 +811,11 @@ class ChunkCache:
                     if counter is not None:
                         counter.total += 1.0
                         counter.count += 1
-            yield from self._make_room()
+            if len(entries) >= self.capacity_chunks:
+                # Guarded call: below capacity _make_room's loop would
+                # fall straight through, so skipping it outright spares
+                # a generator round trip per miss.
+                yield from self._make_room()
             # _make_room yielded: the chunk may have (re)appeared or gone
             # back into eviction; restart the residency checks if so.
             # (A key mid-drain whose spilled copy sits in the local tier
@@ -855,8 +892,10 @@ class ChunkCache:
             # wait so concurrent readers single-flight on us meanwhile).
             while entry.writeback is not None:
                 yield entry.writeback
-            req = self.daemon.request()
-            yield req
+            req = self.daemon.acquire_now()
+            if req is None:
+                req = self.daemon.request()
+                yield req
             try:
                 if self._promotable((path, index), entry):
                     # Promote from the local tier: one local SSD read
@@ -876,13 +915,21 @@ class ChunkCache:
         # Preserve bytes written before the fill (write-allocate case).
         nbytes = len(data)
         if type(data) is bytearray and nbytes == self.chunk_size:
-            # The store handed us a fresh full-size buffer: adopt it as
-            # the entry payload instead of copying it once more.
+            # The store handed us a full-size buffer: adopt it as the
+            # entry payload instead of copying it once more.  When it is
+            # a benefactor loan (the live stored payload still holds a
+            # reference: refcount above local+argument), remember that —
+            # the first write must copy before mutating.
+            shared = sys.getrefcount(data) > 2
             if entry.dirty:
+                if shared:
+                    data = bytearray(data)
+                    shared = False
                 old = memoryview(entry.data)
                 for start, stop in entry.dirty:
                     data[start:stop] = old[start:stop]
             entry.data = data
+            entry.shared = shared
         elif entry.dirty:
             merged = bytearray(self.chunk_size)
             merged[:nbytes] = data
@@ -890,10 +937,12 @@ class ChunkCache:
             for start, stop in entry.dirty:
                 merged[start:stop] = old[start:stop]
             entry.data = merged
+            entry.shared = False
         else:
             buf = bytearray(self.chunk_size)
             buf[:nbytes] = data
             entry.data = buf
+            entry.shared = False
         entry.valid = True
         if from_l2:
             self.stats.l2_promote_bytes += nbytes
@@ -984,8 +1033,10 @@ class ChunkCache:
             # Inlined StorageDevice.access (DRAM has no _pre_access hook;
             # event-for-event identical, one generator hop less).
             dram = self._dram
-            req = dram._acquire()
-            yield req
+            req = dram._acquire_now()
+            if req is None:
+                req = dram._acquire()
+                yield req
             try:
                 bytes_counter, time_counter, time_fn = dram._read_stats
                 duration = time_fn(length)
@@ -1039,8 +1090,10 @@ class ChunkCache:
             # the page cache resumes through this frame for every page
             # run it faults, so the extra generator hop is worth skipping.
             dram = self._dram
-            req = dram._acquire()
-            yield req
+            req = dram._acquire_now()
+            if req is None:
+                req = dram._acquire()
+                yield req
             try:
                 bytes_counter, time_counter, time_fn = dram._read_stats
                 duration = time_fn(length)
@@ -1139,6 +1192,10 @@ class ChunkCache:
             buf = entry.data
             if buf is None:
                 buf = entry.data = bytearray(self.chunk_size)
+            elif entry.shared:
+                # Unshare a fetch loan before the first mutation.
+                buf = entry.data = bytearray(buf)
+                entry.shared = False
             buf[offset : offset + length] = data
             entry.dirty.add(offset, offset + length)
             if self._l2 is not None:
@@ -1156,8 +1213,10 @@ class ChunkCache:
             # Inlined StorageDevice.access (DRAM has no _pre_access hook;
             # event-for-event identical, one generator hop less).
             dram = self._dram
-            req = dram._acquire()
-            yield req
+            req = dram._acquire_now()
+            if req is None:
+                req = dram._acquire()
+                yield req
             try:
                 bytes_counter, time_counter, time_fn = dram._write_stats
                 duration = time_fn(length)
@@ -1213,6 +1272,10 @@ class ChunkCache:
                 buf = entry.data
                 if buf is None:
                     buf = entry.data = bytearray(self.chunk_size)
+                elif entry.shared:
+                    # Unshare a fetch loan before the first mutation.
+                    buf = entry.data = bytearray(buf)
+                    entry.shared = False
                 buf[offset : offset + length] = data
                 entry.dirty.add(offset, offset + length)
                 if self._l2 is not None:
@@ -1229,8 +1292,10 @@ class ChunkCache:
                 counter.count += 1
                 # Inlined StorageDevice.access (DRAM has no _pre_access
                 # hook; event-for-event identical, one hop less).
-                req = dram._acquire()
-                yield req
+                req = dram._acquire_now()
+                if req is None:
+                    req = dram._acquire()
+                    yield req
                 try:
                     bytes_counter, time_counter, time_fn = dram._write_stats
                     duration = time_fn(length)

@@ -123,7 +123,7 @@ class MmapRegion:
         last = (end - 1) // page
         out = bytearray(length)
         private = self._private
-        overlay_bytes = 0
+        overlay_sizes: list[int] = []
         run_start: int | None = None
         for page_idx in range(first, last + 1):
             page_start = page_idx * page
@@ -143,17 +143,18 @@ class MmapRegion:
             out[lo - file_off : hi - file_off] = memoryview(overlay)[
                 lo - page_start : hi - page_start
             ]
-            overlay_bytes += hi - lo
+            overlay_sizes.append(hi - lo)
         if run_start is not None:
             data = yield from self.pagecache.read(
                 self.path, run_start, end - run_start
             )
             out[run_start - file_off :] = data
-        if overlay_bytes:
+        if overlay_sizes:
             # Overlaid bytes never touch the backing file, but serving
-            # them is still a DRAM copy.
-            yield from self.pagecache.node.dram.access(
-                AccessKind.READ, overlay_bytes
+            # them is still a DRAM copy: one cohort access for the whole
+            # run of overlaid page segments.
+            yield from self.pagecache.node.dram.access_run(
+                AccessKind.READ, overlay_sizes
             )
         return out
 
@@ -187,6 +188,7 @@ class MmapRegion:
         # modified.
         cursor = file_off
         end = file_off + len(data)
+        piece_sizes: list[int] = []
         while cursor < end:
             page_idx = cursor // self._page
             in_page = cursor - page_idx * self._page
@@ -202,8 +204,13 @@ class MmapRegion:
             overlay[in_page : in_page + piece] = data[
                 cursor - file_off : cursor - file_off + piece
             ]
+            piece_sizes.append(piece)
             cursor += piece
-        yield from self.pagecache.mount.node.dram.access(AccessKind.WRITE, len(data))
+        # One cohort DRAM access for the whole run of written page pieces
+        # (sums back to len(data): bit-identical to the single access).
+        yield from self.pagecache.mount.node.dram.access_run(
+            AccessKind.WRITE, piece_sizes
+        )
 
     # ------------------------------------------------------------------
     def msync(self) -> Generator[Event, object, None]:

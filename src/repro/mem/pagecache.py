@@ -22,12 +22,21 @@ from collections import OrderedDict
 from collections.abc import Generator
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.devices.base import AccessKind
 from repro.errors import MmapError
 from repro.fusefs.mount import FuseMount
 from repro.sim.events import Event
 from repro.store.chunk import PAGE_SIZE
 from repro.util.recorder import MetricsRecorder
+
+#: Gate for the no-yield bulk page-run fast paths in fault and write.
+#: They are eligible only where the general per-page route (``_insert``)
+#: would not have yielded — no eviction, no in-flight flush — so
+#: flipping this off must be byte- and virtual-time-invisible; tests
+#: fuzz that identity on random schedules (tests/test_bulk_runs_fuzz.py).
+BULK_PAGE_RUNS = True
 
 
 @dataclass
@@ -139,6 +148,31 @@ class PageCache:
             bucket = self._by_path[path] = set()
         bucket.add(page_idx)
         return page
+
+    def _evict_clean_run(self) -> bool:
+        """Pop clean LRU victims until a slot is free, without yielding.
+
+        Mirrors the eviction arm of :meth:`_insert` for victims whose
+        flush would be a no-op.  Stops short at the first dirty victim
+        (its flush yields) and returns False; the caller must then fall
+        back to ``_insert``, which evicts that very victim through the
+        flushing path — in the same LRU order, since nothing was popped
+        past it here.
+        """
+        pages = self._pages
+        capacity = self.capacity_pages
+        by_path = self._by_path
+        while len(pages) >= capacity:
+            vkey = next(iter(pages))
+            if pages[vkey].dirty:
+                return False
+            del pages[vkey]
+            vpath, vidx = vkey
+            vbucket = by_path[vpath]
+            vbucket.discard(vidx)
+            if not vbucket:
+                del by_path[vpath]
+        return True
 
     def _flush_page(
         self, path: str, page_idx: int, page: _Page
@@ -303,6 +337,7 @@ class PageCache:
         page_size = self.page_size
         capacity = self.capacity_pages
         chunk_size = self.mount.chunk_size
+        by_path = self._by_path
         cursor = offset
         end = offset + length
         # ``cursor`` stays page-aligned throughout: it starts at a page
@@ -319,6 +354,14 @@ class PageCache:
             yield from cache.read_into(path, chunk_index, chunk_off, piece, buf)
             page_idx = cursor // page_size
             inner = 0
+            # Local mirrors for the no-yield run over this piece's pages:
+            # ``tick`` is written back before any yield (and at piece
+            # end); ``bucket`` is re-fetched after any yield because an
+            # eviction inside _insert may drop and recreate this path's
+            # bucket set.
+            tick = self._tick
+            bucket = by_path.get(path)
+            bulk = BULK_PAGE_RUNS
             while inner < piece:
                 remaining = piece - inner
                 seg_len = page_size if remaining >= page_size else remaining
@@ -328,22 +371,43 @@ class PageCache:
                     # Concurrently faulted back in: only touch the LRU
                     # position, never overwrite (it may hold newer bytes).
                     move_to_end(key)
-                    self._tick += 1
-                    page.lru = self._tick
-                elif key not in inflight and len(pages) < capacity:
-                    # Fast path: no eviction and no flush to wait on —
-                    # _insert would have returned without yielding.
+                    tick += 1
+                    page.lru = tick
+                elif bulk and key not in inflight and (
+                    len(pages) < capacity or self._evict_clean_run()
+                ):
+                    # Fast path: no eviction flush and no in-flight wait
+                    # — _insert would have returned without yielding
+                    # (clean LRU victims are popped inline; a dirty one
+                    # falls through to _insert).  Re-mirror the bucket:
+                    # the evict run may have dropped this path's entry.
+                    # (_new_page inlined: this stretch cannot yield, so
+                    # the mirrors stay coherent across the whole run.)
+                    bucket = by_path.get(path)
+                    page = _Page.__new__(_Page)
                     if seg_len == page_size:
-                        self._new_page(path, page_idx, buf[inner : inner + page_size])
+                        page.data = buf[inner : inner + page_size]
                     else:
-                        page = self._new_page(path, page_idx)
-                        page.data[:seg_len] = buf[inner : inner + seg_len]
+                        data = bytearray(page_size)
+                        data[:seg_len] = buf[inner : inner + seg_len]
+                        page.data = data
+                    page.dirty = False
+                    tick += 1
+                    page.lru = tick
+                    pages[key] = page
+                    if bucket is None:
+                        bucket = by_path[path] = set()
+                    bucket.add(page_idx)
                 else:
+                    self._tick = tick
                     page, created = yield from self._insert(path, page_idx)
+                    tick = self._tick
+                    bucket = by_path.get(path)
                     if created:
                         page.data[:seg_len] = buf[inner : inner + seg_len]
                 inner += page_size
                 page_idx += 1
+            self._tick = tick
             cursor += piece
         self.stats.faulted_bytes += length
         counter = self._fault_counter
@@ -408,8 +472,10 @@ class PageCache:
             # event-for-event identical, one generator hop less).
             nbytes = resident * page_size
             dram = self._dram
-            req = dram._acquire()
-            yield req
+            req = dram._acquire_now()
+            if req is None:
+                req = dram._acquire()
+                yield req
             try:
                 bytes_counter, time_counter, time_fn = dram._read_stats
                 duration = time_fn(nbytes)
@@ -484,10 +550,17 @@ class PageCache:
         misses = 0
         # Only the first page can start mid-page: advance the page index
         # instead of re-dividing the cursor each iteration.  ``start``
-        # is the position within ``data`` (== cursor - offset).
+        # is the position within ``data`` (== cursor - offset).  ``tick``
+        # and ``bucket`` mirror self._tick / this path's index across the
+        # no-yield stretches (written back before any yield, re-fetched
+        # after — evictions inside _insert may recreate the bucket).
         page_idx = offset // page_size
         in_page = offset - page_idx * page_size
         start = 0
+        by_path = self._by_path
+        bucket = by_path.get(path)
+        tick = self._tick
+        bulk = BULK_PAGE_RUNS
         while start < length:
             piece = page_size - in_page
             rest = length - start
@@ -501,19 +574,32 @@ class PageCache:
                     # Full-page overwrite: allocate without fetching,
                     # handing the payload straight to the new page (no
                     # zero-fill, no second copy).
-                    if key not in inflight and len(pages) < capacity:
-                        page = self._new_page(
-                            path, page_idx,
-                            bytearray(src[start : start + page_size]),
-                        )
+                    if bulk and key not in inflight and (
+                        len(pages) < capacity or self._evict_clean_run()
+                    ):
+                        # Re-mirror the bucket: the clean-evict run may
+                        # have dropped this path's entry.
+                        bucket = by_path.get(path)
+                        # _new_page inlined: this stretch cannot yield.
+                        page = _Page.__new__(_Page)
+                        page.data = bytearray(src[start : start + page_size])
                         page.dirty = True
+                        tick += 1
+                        page.lru = tick
+                        pages[key] = page
+                        if bucket is None:
+                            bucket = by_path[path] = set()
+                        bucket.add(page_idx)
                         written_resident += page_size
                         start += page_size
                         page_idx += 1
                         continue
+                    self._tick = tick
                     page, created = yield from self._insert(
                         path, page_idx, bytearray(src[start : start + page_size])
                     )
+                    tick = self._tick
+                    bucket = by_path.get(path)
                     if created:
                         page.dirty = True
                         written_resident += page_size
@@ -521,27 +607,33 @@ class PageCache:
                         page_idx += 1
                         continue
                 else:
+                    self._tick = tick
                     yield from self._fault_range(path, page_idx, page_idx)
+                    tick = self._tick
+                    bucket = by_path.get(path)
                     page = pages[key]
             else:
                 hits += 1
                 move_to_end(key)
-                self._tick += 1
-                page.lru = self._tick
+                tick += 1
+                page.lru = tick
             page.data[in_page : in_page + piece] = src[start : start + piece]
             page.dirty = True
             written_resident += piece
             start += piece
             page_idx += 1
             in_page = 0
+        self._tick = tick
         self.stats.hits += hits
         self.stats.misses += misses
         if written_resident:
             # Inlined StorageDevice.access (DRAM has no _pre_access hook;
             # event-for-event identical, one generator hop less).
             dram = self._dram
-            req = dram._acquire()
-            yield req
+            req = dram._acquire_now()
+            if req is None:
+                req = dram._acquire()
+                yield req
             try:
                 bytes_counter, time_counter, time_fn = dram._write_stats
                 duration = time_fn(written_resident)
@@ -600,14 +692,26 @@ class PageCache:
             overhead = self.fuse_op_overhead or None
             # Snapshot this path's pages in LRU order (stamp order ==
             # dict order); dirtiness is re-checked at flush time, as the
-            # page-by-page loop would.
-            snapshot = sorted(
-                ((page := pages[(path, i)]).lru, i, page) for i in bucket
+            # page-by-page loop would.  Stamps are unique, so a numpy
+            # argsort over the stamp array replays the exact order the
+            # tuple sort produced, without B log B tuple comparisons.
+            # Batch *boundaries* stay lazily evaluated below: a page
+            # dirtied while an earlier batch's flush was in flight must
+            # still be picked up when the walk reaches it.
+            indices = list(bucket)
+            path_pages = [pages[(path, i)] for i in indices]
+            order = np.argsort(
+                np.fromiter(
+                    (p.lru for p in path_pages), np.int64, len(indices)
+                )
             )
+            snapshot = [
+                (indices[k], path_pages[k]) for k in order.tolist()
+            ]
             j = 0
             total = len(snapshot)
             while j < total:
-                _, page_idx, page = snapshot[j]
+                page_idx, page = snapshot[j]
                 if not page.dirty:
                     j += 1
                     continue
@@ -624,7 +728,7 @@ class PageCache:
                 batch = [(page_idx, page)]
                 k = j + 1
                 while k < total:
-                    _, nxt_idx, nxt_page = snapshot[k]
+                    nxt_idx, nxt_page = snapshot[k]
                     nxt_off = nxt_idx * page_size
                     if (
                         nxt_idx != batch[-1][0] + 1

@@ -96,11 +96,15 @@ class Network:
                 ),
             )
         tx, rx, counters = state
-        tx_req = tx.request()
-        yield tx_req
-        rx_req = rx.request()
+        tx_req = tx.acquire_now()
+        if tx_req is None:
+            tx_req = tx.request()
+            yield tx_req
+        rx_req = rx.acquire_now()
         try:
-            yield rx_req
+            if rx_req is None:
+                rx_req = rx.request()
+                yield rx_req
             try:
                 c_net, c_tx, c_rx = counters
                 c_net.total += nbytes

@@ -106,8 +106,10 @@ class Communicator:
             # StorageDevice.access (DRAM has no _pre_access hook;
             # event-for-event identical, one generator hop less).
             dram = src_node.dram
-            req = dram._acquire()
-            yield req
+            req = dram._acquire_now()
+            if req is None:
+                req = dram._acquire()
+                yield req
             try:
                 bytes_counter, time_counter, time_fn = dram._write_stats
                 duration = time_fn(nbytes)

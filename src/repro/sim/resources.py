@@ -29,6 +29,13 @@ _getrefcount = getattr(sys, "getrefcount", None) or (lambda obj: -1)
 
 _POOL_LIMIT = 512
 
+#: Gate for :meth:`Resource.acquire_now` synchronous grants.  The fast
+#: path fires only when skipping the ring round trip is provably
+#: order-identical, so flipping this off must not change virtual time,
+#: counters, or bytes anywhere; tests fuzz that identity
+#: (tests/test_bulk_runs_fuzz.py).
+SYNC_GRANTS = True
+
 
 class Request(Event):
     """A pending or granted claim on one slot of a :class:`Resource`."""
@@ -131,6 +138,54 @@ class Resource:
             self._queue.append(req)
         return req
 
+    def acquire_now(self) -> Request | None:
+        """Grant a slot synchronously when that is provably unobservable.
+
+        A ``request()`` whose grant rides the now-ring parks the caller
+        and resumes it after everything already queued at this instant
+        has run.  When nothing is queued — the ring is empty and no heap
+        event is due at ``now`` — the caller would have been the sole
+        ring entry and resumed immediately with nothing running in
+        between, so continuing inline is order-identical to the parked
+        path and merely skips one event dispatch plus a full
+        generator-chain resume.  Returns ``None`` whenever any of that
+        cannot be guaranteed (slot contention, pending same-instant
+        work); callers must then fall back to ``request()`` + ``yield``.
+        """
+        users = self._users
+        if len(users) >= self.capacity or not SYNC_GRANTS:
+            return None
+        engine = self.engine
+        if engine._ring:
+            return None
+        heap = engine._heap
+        now = engine._now
+        if heap and heap[0][0] <= now:
+            return None
+        pool = engine._request_pool
+        req: Request | None = None
+        if pool:
+            candidate = pool.pop()
+            expected = 3 if candidate._value is candidate else 2
+            if _getrefcount(candidate) == expected:
+                req = candidate
+                req._ok = True
+                req.resource = self
+        if req is None:
+            req = Request(self)
+        if now != self._last_change:
+            self._busy_time += self._last_users * (now - self._last_change)
+            self._last_change = now
+        users.add(req)
+        self._last_users += 1
+        # The grant never needs dispatching: mark it already processed so
+        # release() can park it for reuse, and self-referenced so the
+        # pool's refcount gate treats it like any dispatched grant.
+        req._value = req
+        req._scheduled = True
+        req.callbacks = _PROCESSED
+        return req
+
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
         users = self._users
@@ -183,9 +238,11 @@ class Resource:
         (or queue position) is given back even if the caller is aborted
         while waiting for the grant.
         """
-        req = self.request()
+        req = self.acquire_now()
         try:
-            yield req
+            if req is None:
+                req = self.request()
+                yield req
             yield self.engine.timeout(duration)
         except BaseException:
             self.cancel(req)
@@ -194,6 +251,29 @@ class Resource:
             # Happy path: the grant fired, so the slot is held — release
             # directly instead of re-deriving that through cancel().
             self.release(req)
+
+    def use_run(
+        self, durations: "Sequence[float] | np.ndarray"
+    ) -> Generator[Event, object, None]:
+        """Hold one slot once for a whole cohort of segment durations.
+
+        The cohort is served as a single grant/timeout/release whose
+        duration is the vectorized sum of ``durations`` — one
+        busy-interval update and one queue round trip for an N-segment
+        run, instead of N.  This is for runs the model *defines* as one
+        access (an N-page DRAM run, a multi-page device transfer), not
+        for merging independent accesses: collapsing separately-queued
+        accesses would change grant interleaving under contention and
+        with it the virtual timeline.
+        """
+        import numpy as np
+
+        darr = np.asarray(
+            durations if isinstance(durations, np.ndarray) else list(durations),
+            dtype=np.float64,
+        )
+        total = float(np.add.reduce(darr)) if darr.size else 0.0
+        yield from self.use(total)
 
     def __repr__(self) -> str:
         return (

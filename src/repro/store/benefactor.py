@@ -9,6 +9,7 @@ through the simulation substrate.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Generator
 
 from repro.cluster.node import Node
@@ -157,6 +158,25 @@ class Benefactor:
             self._data[chunk_id] = bytearray(self.chunk_size)
         return self._data[chunk_id]
 
+    def _exclusive(self, chunk_id: int) -> bytearray:
+        """The chunk payload, made safe to mutate in place.
+
+        Full-chunk fetches loan the live payload buffer to the caller
+        (see :meth:`_fetch_chunk_impl`), so before mutating we check
+        whether any loan is still outstanding and copy-on-write if so —
+        the borrower keeps its fetch-time snapshot, we keep a private
+        buffer.  Sharing is detected by refcount: exactly three
+        references exist when nobody borrowed the buffer (``_data`` dict,
+        this frame's local, ``getrefcount``'s argument).  Callers must
+        not hold their own reference to the payload across this call —
+        it would read as a loan and force a spurious copy.
+        """
+        payload = self._data[chunk_id]
+        if sys.getrefcount(payload) > 3:
+            payload = bytearray(payload)
+            self._data[chunk_id] = payload
+        return payload
+
     def has_chunk(self, chunk_id: int) -> bool:
         """True when the chunk's payload is materialized here."""
         return chunk_id in self._data
@@ -190,7 +210,8 @@ class Benefactor:
                 f"{self.name}: write [{offset}, {offset + len(data)}) outside "
                 f"chunk of {self.chunk_size}"
             )
-        yield from self._slowdown()
+        if self._slow_until > self.node.engine.now:  # inlined _slowdown
+            yield self.node.engine.timeout(self._slow_extra)
         yield from self.node.network.transfer(client, self.name, len(data))
         if self.crashed or not self.online:
             # Crash-during-writeback: the payload travelled but was never
@@ -202,8 +223,10 @@ class Benefactor:
         shadow = self._fill_shadow.get(chunk_id)
         if shadow is not None:
             shadow.add(offset, offset + len(data))
-        payload = self._data.get(chunk_id)
-        if payload is None and len(data) == self.chunk_size:
+        if chunk_id in self._data:
+            payload = self._exclusive(chunk_id)
+            payload[offset : offset + len(data)] = data
+        elif len(data) == self.chunk_size:
             # First write covering the whole chunk: adopt one copy of the
             # payload instead of zero-filling a buffer and overwriting it.
             if not self._free_extents:
@@ -211,8 +234,7 @@ class Benefactor:
             self._extents[chunk_id] = self._free_extents.pop()
             self._data[chunk_id] = bytearray(data)
         else:
-            if payload is None:
-                payload = self._materialize(chunk_id)
+            payload = self._materialize(chunk_id)
             payload[offset : offset + len(data)] = data
         yield from self.ssd.write_extent(self._extent_of(chunk_id) + offset, len(data))
         counter = self._in_counter
@@ -243,7 +265,10 @@ class Benefactor:
 
         Unmaterialized chunks read as zeroes (space reservation creates no
         data, matching ``posix_fallocate`` semantics).  The returned
-        buffer is a fresh snapshot owned by the caller.
+        buffer behaves as a fetch-time snapshot: partial reads get a
+        fresh copy, full-chunk reads get a zero-copy loan of the live
+        payload that copy-on-write protects on both sides (see
+        :meth:`_exclusive`).
         """
         self._check_online()
         if length is None:
@@ -253,14 +278,19 @@ class Benefactor:
                 f"{self.name}: read [{offset}, {offset + length}) outside "
                 f"chunk of {self.chunk_size}"
             )
-        yield from self._slowdown()
+        if self._slow_until > self.node.engine.now:  # inlined _slowdown
+            yield self.node.engine.timeout(self._slow_extra)
         stored = self._data.get(chunk_id)
         if stored is not None:
             yield from self.ssd.read_extent(self._extent_of(chunk_id) + offset, length)
-            # One copy into a fresh buffer the receiver owns outright —
-            # the chunk cache adopts it instead of copying again.
             if offset == 0 and length == len(stored):
-                data = bytearray(stored)
+                # Loan the live payload buffer instead of copying a
+                # quarter-megabyte per fetch.  Snapshot semantics are
+                # preserved copy-on-write: every mutation on this side
+                # goes through _exclusive (which copies while a loan is
+                # outstanding), and the chunk cache unshares its entry
+                # before the first write on its side.
+                data = stored
             else:
                 data = bytearray(memoryview(stored)[offset : offset + length])
         else:
@@ -289,8 +319,13 @@ class Benefactor:
             yield from self.ssd.read_extent(
                 self._extent_of(src_chunk_id), self.chunk_size
             )
-            payload = self._materialize(dst_chunk_id)
-            payload[:] = self._data[src_chunk_id]
+            if dst_chunk_id not in self._data:
+                if not self._free_extents:
+                    raise CapacityError(f"{self.name}: no free extents")
+                self._extents[dst_chunk_id] = self._free_extents.pop()
+            # Install a fresh copy wholesale: an outstanding loan of the
+            # old destination payload keeps its snapshot untouched.
+            self._data[dst_chunk_id] = bytearray(self._data[src_chunk_id])
             yield from self.ssd.write_extent(
                 self._extent_of(dst_chunk_id), self.chunk_size
             )
@@ -328,7 +363,8 @@ class Benefactor:
         shadow = self._fill_shadow.pop(chunk_id)
         if data is None:
             return
-        payload = self._materialize(chunk_id)
+        self._materialize(chunk_id)
+        payload = self._exclusive(chunk_id)
         extent = self._extent_of(chunk_id)
         written = 0
         for start, stop in shadow.gaps(0, self.chunk_size):

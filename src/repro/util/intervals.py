@@ -1,32 +1,86 @@
-"""Half-open integer interval sets.
+"""Half-open integer interval sets on sorted numpy endpoint arrays.
 
 Used for dirty-byte tracking inside cached chunks and for free-extent
 accounting.  Intervals are ``[start, stop)`` with ``start < stop``; the set
 keeps them sorted, disjoint, and coalesced.
+
+The representation is a pair of parallel ``int64`` arrays (``_starts``,
+``_stops``) over-allocated capacity-doubling style, with ``_n`` live
+entries.  Single-interval mutations keep scalar fast paths for the
+overwhelmingly common shapes (empty set, append-at-end, grow-last) and
+fall back to ``numpy.searchsorted`` plus one slice splice for the general
+case; ``add_many``/``gaps_many`` process whole batches with sort +
+``maximum.accumulate`` coalescing so run-batched callers pay one array
+pass instead of N bisect rounds.  All query methods return plain python
+ints — endpoints feed byte counters and JSON reports, which must never
+see ``numpy.int64``.
 """
 
 from __future__ import annotations
 
-import bisect
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+_MIN_CAP = 4
+
+#: Shared zero-capacity endpoint pair: a fresh set points here until its
+#: first mutation, so constructing an IntervalSet allocates nothing.
+#: (Never written to — every write happens after ``_grow`` swapped in a
+#: private buffer.)
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 class IntervalSet:
     """A mutable set of disjoint half-open integer intervals.
 
-    Supports union (``add``), subtraction (``discard``), intersection
-    queries, and total-length accounting.  All operations keep the internal
-    representation sorted and coalesced, so iteration yields canonical
-    intervals.
+    Supports union (``add``/``add_many``), subtraction (``discard``),
+    intersection queries, and total-length accounting.  All operations keep
+    the internal representation sorted and coalesced, so iteration yields
+    canonical intervals.
     """
 
-    __slots__ = ("_starts", "_stops")
+    __slots__ = ("_starts", "_stops", "_n")
 
     def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
-        self._starts: list[int] = []
-        self._stops: list[int] = []
+        self._starts: np.ndarray = _EMPTY
+        self._stops: np.ndarray = _EMPTY
+        self._n = 0
         for start, stop in intervals:
             self.add(start, stop)
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def _grow(self, need: int) -> None:
+        cap = len(self._starts) or _MIN_CAP
+        while cap < need:
+            cap *= 2
+        starts = np.empty(cap, dtype=np.int64)
+        stops = np.empty(cap, dtype=np.int64)
+        n = self._n
+        starts[:n] = self._starts[:n]
+        stops[:n] = self._stops[:n]
+        self._starts = starts
+        self._stops = stops
+
+    def _splice(
+        self, lo: int, hi: int, starts: Sequence[int], stops: Sequence[int]
+    ) -> None:
+        """Replace entries ``[lo:hi]`` with the given endpoint lists."""
+        n = self._n
+        k = len(starts)
+        new_n = n - (hi - lo) + k
+        if new_n > len(self._starts):
+            self._grow(new_n)
+        sa, so = self._starts, self._stops
+        if hi != lo + k and hi < n:
+            sa[lo + k : new_n] = sa[hi:n]
+            so[lo + k : new_n] = so[hi:n]
+        for j in range(k):
+            sa[lo + j] = starts[j]
+            so[lo + j] = stops[j]
+        self._n = new_n
 
     # ------------------------------------------------------------------
     # Mutation
@@ -37,60 +91,141 @@ class IntervalSet:
             raise ValueError(f"invalid interval [{start}, {stop})")
         if start == stop:
             return
-        # Find the window of existing intervals that touch [start, stop).
-        # An interval touches if existing.stop >= start and
-        # existing.start <= stop (adjacent intervals coalesce).
-        lo = bisect.bisect_left(self._stops, start)
-        hi = bisect.bisect_right(self._starts, stop)
-        if lo < hi:
-            start = min(start, self._starts[lo])
-            stop = max(stop, self._stops[hi - 1])
-        self._starts[lo:hi] = [start]
-        self._stops[lo:hi] = [stop]
+        n = self._n
+        sa, so = self._starts, self._stops
+        if n:
+            last_stop = so[n - 1]
+            if start > last_stop:  # disjoint append past the end
+                if n == len(sa):
+                    self._grow(n + 1)
+                    sa, so = self._starts, self._stops
+                sa[n] = start
+                so[n] = stop
+                self._n = n + 1
+                return
+            if start >= sa[n - 1]:  # touches only the last interval
+                if stop > last_stop:
+                    so[n - 1] = stop
+                return
+            # General path: the window of existing intervals that touch
+            # [start, stop) — existing.stop >= start and
+            # existing.start <= stop (adjacent intervals coalesce).
+            lo = int(np.searchsorted(so[:n], start, side="left"))
+            hi = int(np.searchsorted(sa[:n], stop, side="right"))
+            if lo < hi:
+                if sa[lo] < start:
+                    start = int(sa[lo])
+                if so[hi - 1] > stop:
+                    stop = int(so[hi - 1])
+            self._splice(lo, hi, (start,), (stop,))
+        else:
+            if not len(sa):
+                self._grow(1)
+                sa, so = self._starts, self._stops
+            sa[0] = start
+            so[0] = stop
+            self._n = 1
+
+    def add_many(
+        self,
+        starts: Iterable[int] | np.ndarray,
+        stops: Iterable[int] | np.ndarray,
+    ) -> None:
+        """Union a whole batch of intervals in one vectorized pass.
+
+        Equivalent to calling :meth:`add` per pair but O((n+k) log(n+k))
+        total: concatenate with the existing endpoints, sort by start, and
+        coalesce with a running-max scan (adjacent intervals merge, empty
+        ones drop out).
+        """
+        s = np.asarray(starts, dtype=np.int64)
+        t = np.asarray(stops, dtype=np.int64)
+        if s.shape != t.shape or s.ndim != 1:
+            raise ValueError("starts/stops must be parallel 1-d arrays")
+        if np.any(s > t):
+            bad = int(np.argmax(s > t))
+            raise ValueError(f"invalid interval [{int(s[bad])}, {int(t[bad])})")
+        keep = s < t  # drop empties
+        if not np.all(keep):
+            s, t = s[keep], t[keep]
+        if not len(s):
+            return
+        n = self._n
+        if n:
+            s = np.concatenate((self._starts[:n], s))
+            t = np.concatenate((self._stops[:n], t))
+        order = np.argsort(s, kind="stable")
+        s = s[order]
+        t = t[order]
+        reach = np.maximum.accumulate(t)
+        first = np.empty(len(s), dtype=bool)
+        first[0] = True
+        first[1:] = s[1:] > reach[:-1]  # strict: adjacent still coalesces
+        idx = np.flatnonzero(first)
+        merged_starts = s[idx]
+        last = np.empty(len(idx), dtype=np.int64)
+        last[:-1] = idx[1:] - 1
+        last[-1] = len(s) - 1
+        merged_stops = reach[last]
+        new_n = len(idx)
+        if new_n > len(self._starts):
+            self._grow(new_n)
+        self._starts[:new_n] = merged_starts
+        self._stops[:new_n] = merged_stops
+        self._n = new_n
 
     def discard(self, start: int, stop: int) -> None:
         """Subtract ``[start, stop)`` from the set."""
         if start > stop:
             raise ValueError(f"invalid interval [{start}, {stop})")
-        if start == stop or not self._starts:
+        n = self._n
+        if start == stop or not n:
             return
+        sa, so = self._starts, self._stops
         # Overlapping (strictly, not merely adjacent) intervals.
-        lo = bisect.bisect_right(self._stops, start)
-        hi = bisect.bisect_left(self._starts, stop)
+        lo = int(np.searchsorted(so[:n], start, side="right"))
+        hi = int(np.searchsorted(sa[:n], stop, side="left"))
         if lo >= hi:
             return
         new_starts: list[int] = []
         new_stops: list[int] = []
-        if self._starts[lo] < start:
-            new_starts.append(self._starts[lo])
+        if sa[lo] < start:
+            new_starts.append(int(sa[lo]))
             new_stops.append(start)
-        if self._stops[hi - 1] > stop:
+        if so[hi - 1] > stop:
             new_starts.append(stop)
-            new_stops.append(self._stops[hi - 1])
-        self._starts[lo:hi] = new_starts
-        self._stops[lo:hi] = new_stops
+            new_stops.append(int(so[hi - 1]))
+        self._splice(lo, hi, new_starts, new_stops)
 
     def clear(self) -> None:
         """Remove all intervals."""
-        self._starts.clear()
-        self._stops.clear()
+        self._n = 0
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[tuple[int, int]]:
-        return iter(zip(self._starts, self._stops))
+        n = self._n
+        return iter(
+            zip(self._starts[:n].tolist(), self._stops[:n].tolist())
+        )
 
     def __len__(self) -> int:
-        return len(self._starts)
+        return self._n
 
     def __bool__(self) -> bool:
-        return bool(self._starts)
+        return self._n > 0
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IntervalSet):
             return NotImplemented
-        return self._starts == other._starts and self._stops == other._stops
+        n = self._n
+        if n != other._n:
+            return False
+        return bool(
+            np.array_equal(self._starts[:n], other._starts[:n])
+            and np.array_equal(self._stops[:n], other._stops[:n])
+        )
 
     def __repr__(self) -> str:
         spans = ", ".join(f"[{a}, {b})" for a, b in self)
@@ -98,55 +233,140 @@ class IntervalSet:
 
     def total(self) -> int:
         """Total number of integers covered."""
-        return sum(b - a for a, b in self)
+        n = self._n
+        if not n:
+            return 0
+        return int(np.sum(self._stops[:n] - self._starts[:n]))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the live ``(starts, stops)`` endpoint arrays.
+
+        For vectorized consumers; the views alias internal storage and are
+        invalidated by any mutation.
+        """
+        n = self._n
+        return self._starts[:n], self._stops[:n]
 
     def contains(self, point: int) -> bool:
         """True when ``point`` lies inside some interval."""
-        idx = bisect.bisect_right(self._starts, point) - 1
+        n = self._n
+        if not n:
+            return False
+        idx = int(np.searchsorted(self._starts[:n], point, side="right")) - 1
         return idx >= 0 and point < self._stops[idx]
 
     def overlaps(self, start: int, stop: int) -> bool:
         """True when ``[start, stop)`` intersects the set."""
-        if start >= stop:
+        n = self._n
+        if start >= stop or not n:
             return False
-        lo = bisect.bisect_right(self._stops, start)
-        return lo < len(self._starts) and self._starts[lo] < stop
+        lo = int(np.searchsorted(self._stops[:n], start, side="right"))
+        return lo < n and self._starts[lo] < stop
+
+    def _window(self, start: int, stop: int) -> tuple[int, int]:
+        """Index window of intervals strictly overlapping ``[start, stop)``."""
+        n = self._n
+        lo = int(np.searchsorted(self._stops[:n], start, side="right"))
+        hi = int(np.searchsorted(self._starts[:n], stop, side="left"))
+        return lo, hi
 
     def intersection(self, start: int, stop: int) -> list[tuple[int, int]]:
         """The parts of ``[start, stop)`` covered by the set, in order."""
-        result: list[tuple[int, int]] = []
-        if start >= stop:
-            return result
-        lo = bisect.bisect_right(self._stops, start)
-        for i in range(lo, len(self._starts)):
-            a, b = self._starts[i], self._stops[i]
-            if a >= stop:
-                break
-            result.append((max(a, start), min(b, stop)))
-        return result
+        if start >= stop or not self._n:
+            return []
+        lo, hi = self._window(start, stop)
+        if lo >= hi:
+            return []
+        if hi - lo == 1:  # single overlapping interval: stay scalar
+            a = int(self._starts[lo])
+            b = int(self._stops[lo])
+            return [(a if a > start else start, b if b < stop else stop)]
+        a = np.maximum(self._starts[lo:hi], start)
+        b = np.minimum(self._stops[lo:hi], stop)
+        return list(zip(a.tolist(), b.tolist()))
 
     def gaps(self, start: int, stop: int) -> list[tuple[int, int]]:
         """The parts of ``[start, stop)`` NOT covered by the set, in order."""
+        if start >= stop:
+            return []
+        if not self._n:
+            return [(start, stop)]
+        lo, hi = self._window(start, stop)
+        if lo >= hi:
+            return [(start, stop)]
+        # Gap edges: query start, the covered edges clipped to the query,
+        # and the query stop; non-empty [edge[2i], edge[2i+1]) pairs remain.
+        a = self._starts[lo:hi]
+        b = self._stops[lo:hi]
         result: list[tuple[int, int]] = []
         cursor = start
-        for a, b in self.intersection(start, stop):
-            if a > cursor:
-                result.append((cursor, a))
-            cursor = b
+        for i in range(hi - lo):
+            ai = int(a[i])
+            if ai > cursor:
+                result.append((cursor, ai))
+            cursor = int(b[i])
         if cursor < stop:
             result.append((cursor, stop))
         return result
+
+    def gaps_many(
+        self, ranges: Iterable[tuple[int, int]]
+    ) -> list[list[tuple[int, int]]]:
+        """Per-range :meth:`gaps`, one searchsorted batch for all ranges."""
+        pairs = list(ranges)
+        if not pairs:
+            return []
+        n = self._n
+        if not n:
+            return [[(a, b)] if a < b else [] for a, b in pairs]
+        qs = np.fromiter(
+            (p[0] for p in pairs), dtype=np.int64, count=len(pairs)
+        )
+        qe = np.fromiter(
+            (p[1] for p in pairs), dtype=np.int64, count=len(pairs)
+        )
+        los = np.searchsorted(self._stops[:n], qs, side="right")
+        his = np.searchsorted(self._starts[:n], qe, side="left")
+        out: list[list[tuple[int, int]]] = []
+        sa, so = self._starts, self._stops
+        for k in range(len(pairs)):
+            start, stop = pairs[k]
+            if start >= stop:
+                out.append([])
+                continue
+            lo, hi = int(los[k]), int(his[k])
+            if lo >= hi:
+                out.append([(start, stop)])
+                continue
+            result: list[tuple[int, int]] = []
+            cursor = start
+            for i in range(lo, hi):
+                ai = int(sa[i])
+                if ai > cursor:
+                    result.append((cursor, ai))
+                cursor = int(so[i])
+            if cursor < stop:
+                result.append((cursor, stop))
+            out.append(result)
+        return out
 
     def covers(self, start: int, stop: int) -> bool:
         """True when every point of ``[start, stop)`` is in the set."""
         if start >= stop:
             return True
-        inner = self.intersection(start, stop)
-        return len(inner) == 1 and inner[0] == (start, stop)
+        n = self._n
+        if not n:
+            return False
+        idx = int(np.searchsorted(self._starts[:n], start, side="right")) - 1
+        return idx >= 0 and self._stops[idx] >= stop
 
     def copy(self) -> "IntervalSet":
         """A deep copy of this set."""
         clone = IntervalSet()
-        clone._starts = list(self._starts)
-        clone._stops = list(self._stops)
+        n = self._n
+        if n > len(clone._starts):
+            clone._grow(n)
+        clone._starts[:n] = self._starts[:n]
+        clone._stops[:n] = self._stops[:n]
+        clone._n = n
         return clone

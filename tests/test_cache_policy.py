@@ -360,3 +360,22 @@ class TestHashSeedDeterminism:
             outputs.append(result.stdout.strip())
         assert outputs[0]
         assert outputs[0] == outputs[1] == outputs[2]
+
+
+def test_all_ratio_properties_guard_empty_stats():
+    """Every ratio-shaped property is total when nothing happened yet.
+
+    A report rendered before any traffic (or for a disabled feature)
+    must not raise ZeroDivisionError anywhere in the stats surface.
+    """
+    from repro.devices.ftl import FTLStats
+    from repro.mem.pagecache import PageCacheStats
+
+    empty_cache = CacheStats()
+    assert empty_cache.hit_rate == 0.0
+    assert empty_cache.l1_hit_rate == 0.0
+    assert empty_cache.l2_hit_rate == 0.0
+    assert empty_cache.prefetch_accuracy == 0.0
+    assert empty_cache.demand_fill_latency == 0.0
+    assert PageCacheStats().hit_rate == 0.0
+    assert FTLStats().write_amplification == 1.0

@@ -48,3 +48,58 @@ def test_unknown_workload_rejected(capsys):
         assert exc.code == 2
     else:  # pragma: no cover
         raise AssertionError("argparse should reject unknown workloads")
+
+
+def test_layers_mode_attributes_virtual_time(capsys, tmp_path):
+    out = tmp_path / "layers.json"
+    rc = profile_stack.main(
+        [
+            "--layers",
+            "--scale", "tiny",
+            "--workloads", "checkpoint_linked",
+            "--layers-out", str(out),
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "per-(layer, op) virtual attribution" in captured.out
+    assert "critical-path layer shares:" in captured.out
+    assert "pagecache.fault" in captured.out
+
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    result = payload["workloads"]["checkpoint_linked"]
+    assert result["spans"] > 0
+    rollup = result["layers"]
+    # Self-time never exceeds inclusive and both are non-negative.
+    for row in rollup.values():
+        assert 0.0 <= round(row["virtual_self"], 12) <= round(
+            row["virtual_inclusive"], 12
+        ) + 1e-12
+
+    # --diff against the dump we just wrote: virtual columns replay
+    # bit-identically, so no row may be flagged as changed.
+    rc = profile_stack.main(
+        [
+            "--layers",
+            "--scale", "tiny",
+            "--workloads", "checkpoint_linked",
+            "--diff", str(out),
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "layers diff (old -> new)" in captured.out
+    assert "VIRTUAL DRIFT" not in captured.out
+    assert "*" not in captured.out.replace("* ", "")  # no changed-row markers
+
+
+def test_layers_diff_requires_layers(capsys):
+    try:
+        profile_stack.main(["--diff", "x.json"])
+    except SystemExit as exc:
+        assert exc.code == 2
+    else:  # pragma: no cover
+        raise AssertionError("--diff without --layers should be rejected")

@@ -60,6 +60,11 @@ def main(argv: list[str] | None = None) -> int:
         help="required fraction when the host core counts differ "
              "(default: 0.2)",
     )
+    parser.add_argument(
+        "--require-all", action="store_true",
+        help="fail when a committed workload is missing from the fresh "
+             "run (CI runs the full suite; a silent drop must not pass)",
+    )
     args = parser.parse_args(argv)
 
     fresh = json.loads(Path(args.fresh).read_text())
@@ -89,6 +94,13 @@ def main(argv: list[str] | None = None) -> int:
     failed = []
     for name, committed_eps in sorted(floors.items()):
         if name not in current:
+            if args.require_all:
+                print(
+                    f"{name}: MISSING from the fresh run (committed floor "
+                    f"{committed_eps * ratio / 1e6:.2f}M events/s)",
+                    file=sys.stderr,
+                )
+                failed.append(name)
             continue  # a subset run only gates what it ran
         floor = committed_eps * ratio
         eps = current[name]
@@ -100,9 +112,28 @@ def main(argv: list[str] | None = None) -> int:
         )
         if eps < floor:
             failed.append(name)
+            print(
+                f"{name}: FAIL — reached only {eps / committed_eps:.0%} of "
+                f"the committed events/s, below the {ratio:.0%} floor; a "
+                f"kernel slowdown or a pathological host. Re-run on a quiet "
+                f"machine before suspecting the code.",
+                file=sys.stderr,
+            )
+        # When the fresh report came from a --baseline comparison it also
+        # carries the virtual-identity verdict; a floor pass must not
+        # drown out a drifted result.
+        outcome = fresh["workloads"][name]
+        if outcome.get("virtual_identical") is False:
+            failed.append(name)
+            print(
+                f"{name}: FAIL — virtual result drifted from the baseline "
+                f"(see bench_wallclock --baseline output)",
+                file=sys.stderr,
+            )
     if failed:
         print(
-            f"FAIL: events/s regression floor broken: {', '.join(failed)}",
+            f"FAIL: events/s regression floor broken: "
+            f"{', '.join(sorted(set(failed)))}",
             file=sys.stderr,
         )
         return 1
