@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test test-faults test-obs test-cache cache-ablation bench bench-wallclock bench-floor bench-shards profile profile-layers trace experiments experiments-par examples clean
+.PHONY: install test test-faults test-lifecycle test-obs test-cache cache-ablation bench bench-wallclock bench-floor bench-shards profile profile-layers trace experiments experiments-par examples clean
 
 install:
 	pip install -e .
@@ -12,6 +12,11 @@ test:
 # "not faults" marker expression; CI runs it in a dedicated job).
 test-faults:
 	PYTHONPATH=src pytest -m faults
+
+# The checkpoint-lifecycle experiment suite (chains, async drain,
+# crash-restart recovery; CI runs it in a dedicated job).
+test-lifecycle:
+	PYTHONPATH=src pytest -m lifecycle
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -13,6 +13,7 @@ style interface regardless of where a variable lives — the explicit
 placement control the paper argues for.
 """
 
+from repro.core.async_ckpt import AsyncCheckpoint, MutationTracker, SnapshotGuard
 from repro.core.nvmalloc import NVMalloc
 from repro.core.variable import Array, DRAMArray, NVMArray, NVMVariable
 from repro.core.checkpoint import CheckpointRecord, CheckpointSection
@@ -20,12 +21,15 @@ from repro.core.policy import PlacementDecision, PlacementPolicy
 
 __all__ = [
     "Array",
+    "AsyncCheckpoint",
     "CheckpointRecord",
     "CheckpointSection",
     "DRAMArray",
+    "MutationTracker",
     "NVMalloc",
     "NVMArray",
     "NVMVariable",
     "PlacementDecision",
     "PlacementPolicy",
+    "SnapshotGuard",
 ]

@@ -34,6 +34,14 @@ class CheckpointRecord:
     # written at checkpoint time vs bytes merely linked.
     bytes_written: int = 0
     bytes_linked: int = 0
+    # Epoch-chain accounting: how this epoch was taken ("incremental",
+    # "full" or "async"), the committed epoch it chains to, and how many
+    # of the variables' chunks were dirty since that parent (the rest
+    # were linked without any data movement).
+    mode: str = "incremental"
+    parent: int | None = None
+    dirty_chunks: int = 0
+    total_chunks: int = 0
 
     def section(self, name: str) -> CheckpointSection:
         """The section labelled ``name`` (raises CheckpointError when absent)."""

@@ -6,6 +6,8 @@ catch simulation-domain failures without swallowing programming errors.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
@@ -98,17 +100,64 @@ class AllocationError(NVMallocError):
     """``ssdmalloc`` could not satisfy an allocation."""
 
 
+class LostChunk(NamedTuple):
+    """One unrecoverably lost chunk attached to a :class:`CheckpointError`.
+
+    ``epoch`` is the checkpoint epoch whose file references the chunk
+    (``None`` when the loss was detected outside any epoch context) and
+    ``replicas`` the last-known benefactor names that held a copy before
+    every one of them crashed.
+    """
+
+    chunk_id: int
+    epoch: int | None = None
+    replicas: tuple[str, ...] = ()
+
+
 class CheckpointError(NVMallocError):
     """``ssdcheckpoint`` or restart failed.
 
     When the failure is unrecoverable data loss, ``lost_chunks`` holds
-    the sorted chunk ids whose every replica is gone; it is empty for
-    other checkpoint failures.
+    one :class:`LostChunk` record per chunk whose every replica is gone
+    (sorted by chunk id); it is empty for other checkpoint failures.
+    Bare chunk ids passed by older call sites are normalized into
+    records with no epoch/replica detail.
     """
 
-    def __init__(self, message: str, lost_chunks: tuple[int, ...] = ()) -> None:
+    def __init__(
+        self, message: str, lost_chunks: tuple[LostChunk | int, ...] = ()
+    ) -> None:
         super().__init__(message)
-        self.lost_chunks = tuple(lost_chunks)
+        self.lost_chunks = tuple(
+            entry if isinstance(entry, LostChunk) else LostChunk(entry)
+            for entry in lost_chunks
+        )
+
+    @property
+    def lost_chunk_ids(self) -> tuple[int, ...]:
+        """The bare chunk ids of every lost chunk, sorted."""
+        return tuple(sorted(entry.chunk_id for entry in self.lost_chunks))
+
+
+class RestoreError(CheckpointError):
+    """Restart could not reconstruct a checkpoint epoch.
+
+    Raised only when a chunk required by the restored epoch is lost at
+    every replica (degraded-but-readable stores ride the client's
+    retry/failover loop instead).  ``epoch`` is the epoch the restore
+    resolved to before failing, and ``lost_chunks`` details each
+    irrecoverable chunk.  Subclasses :class:`CheckpointError` so callers
+    that treat any checkpoint failure uniformly keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lost_chunks: tuple[LostChunk | int, ...] = (),
+        epoch: int | None = None,
+    ) -> None:
+        super().__init__(message, lost_chunks=lost_chunks)
+        self.epoch = epoch
 
 
 class CommError(ReproError):

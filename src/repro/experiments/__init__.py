@@ -23,6 +23,7 @@ from repro.experiments.cache_tiering import cache_tiering
 from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
 from repro.experiments.faults import faults
+from repro.experiments.lifecycle import ckpt_lifecycle
 from repro.experiments.parallel import Orchestrator, RunOutcome, check_identity
 from repro.experiments.resultcache import ResultCache
 from repro.experiments.scaleout import scaleout
@@ -39,6 +40,7 @@ __all__ = [
     "cache_tiering",
     "check_identity",
     "checkpoint_experiment",
+    "ckpt_lifecycle",
     "cost_analysis",
     "explicit_vs_swap",
     "faults",

@@ -69,6 +69,14 @@ class ExperimentScale:
     scaleout_timesteps: int = 3
     scaleout_chunks_per_step: int = 4
     scaleout_chunk_bytes: int = 256 * KiB
+    # Checkpoint-lifecycle experiment (repro.experiments.lifecycle):
+    # chain length, epoch sizes, and the async drain's staging budget
+    # (defaulted so older scale literals stay valid).
+    lifecycle_variable: int = 4 * MiB
+    lifecycle_dram_state: int = 128 * KiB
+    lifecycle_timesteps: int = 4
+    lifecycle_mutate_fraction: float = 0.25
+    lifecycle_staging_chunks: int = 2
 
     def cpu_spec(self) -> CPUSpec:
         """The (possibly slowed) per-core CPU spec for this scale."""
@@ -130,6 +138,12 @@ SMALL = ExperimentScale(
     scaleout_timesteps=4,
     scaleout_chunks_per_step=8,
     scaleout_chunk_bytes=256 * KiB,
+    # Lifecycle: a 16-chunk variable over 4 epochs, 2 chunks of staging.
+    lifecycle_variable=4 * MiB,
+    lifecycle_dram_state=256 * KiB,
+    lifecycle_timesteps=4,
+    lifecycle_mutate_fraction=0.25,
+    lifecycle_staging_chunks=2,
 )
 
 #: Test scale: small enough for the full grid to run in unit-test time.
@@ -159,4 +173,9 @@ TINY = ExperimentScale(
     scaleout_timesteps=2,
     scaleout_chunks_per_step=3,
     scaleout_chunk_bytes=128 * KiB,
+    lifecycle_variable=1 * MiB,
+    lifecycle_dram_state=64 * KiB,
+    lifecycle_timesteps=3,
+    lifecycle_mutate_fraction=0.25,
+    lifecycle_staging_chunks=2,
 )

@@ -32,6 +32,7 @@ from repro.experiments.cost import cost_analysis
 from repro.experiments.explicit import explicit_vs_swap
 from repro.experiments.faults import faults
 from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
+from repro.experiments.lifecycle import ckpt_lifecycle
 from repro.experiments.report import ExperimentReport
 from repro.experiments.resultcache import ResultCache, code_fingerprint, result_key
 from repro.experiments.runner import Testbed, track_testbeds
@@ -70,6 +71,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentReport], str]] = {
     "scaleout": (
         scaleout,
         "Sharded checkpoint ingest under conservative lookahead-window sync",
+    ),
+    "ckpt_lifecycle": (
+        ckpt_lifecycle,
+        "Checkpoint chains, async drain, crash-restart recovery",
     ),
 }
 

@@ -344,6 +344,20 @@ class ChunkCache:
             )
         return total
 
+    def dirty_chunk_indices(self, path: str) -> set[int]:
+        """Chunk indices of ``path`` with unflushed dirty ranges.
+
+        Pure metadata (no events): used by incremental checkpoints to
+        find chunks whose store copy is behind the cached view.
+        """
+        bucket = self._by_path.get(path)
+        if not bucket:
+            return set()
+        entries = self._entries
+        return {
+            index for index in bucket if entries[(path, index)].dirty
+        }
+
     # ------------------------------------------------------------------
     # Core access
     # ------------------------------------------------------------------

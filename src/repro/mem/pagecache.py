@@ -120,6 +120,11 @@ class PageCache:
         self._write_counter = None
         self._fault_counter = None
         self._writeback_counter = None
+        # Async-checkpoint write hooks (snapshot guards, mutation
+        # trackers), keyed by backing path.  Empty except for paths in an
+        # async checkpoint chain, so the hot write path pays a single
+        # truthiness check otherwise.
+        self._write_hooks: dict[str, list[object]] = {}
         # Page-cache pages occupy node DRAM.
         mount.node.dram.allocate(capacity_bytes)
 
@@ -537,6 +542,17 @@ class PageCache:
         self._check(path, offset, len(data))
         if not data:
             return
+        if self._write_hooks:
+            hooks = self._write_hooks.get(path)
+            if hooks:
+                # A write to a chunk an async checkpoint has not yet
+                # drained triggers copy-on-write: the snapshot guard
+                # captures the frozen bytes (and may block on staging
+                # backpressure) before the store sees the new data;
+                # mutation trackers record the touch for the next
+                # epoch's dirty diff.
+                for hook in list(hooks):
+                    yield from hook.before_write(offset, len(data))
         pages = self._pages
         pages_get = pages.get
         move_to_end = pages.move_to_end
@@ -660,6 +676,44 @@ class PageCache:
             if not bucket:
                 return
             yield next(iter(bucket.values()))
+
+    # ------------------------------------------------------------------
+    # Async-checkpoint snapshot support
+    # ------------------------------------------------------------------
+    def register_write_hook(self, path: str, hook: object) -> None:
+        """Route writes to ``path`` through ``hook.before_write`` until
+        :meth:`unregister_write_hook`.  Hooks run in registration order;
+        registering the same hook object twice is an error."""
+        hooks = self._write_hooks.setdefault(path, [])
+        if any(existing is hook for existing in hooks):
+            raise MmapError(f"{path!r} already has this write hook")
+        hooks.append(hook)
+
+    def unregister_write_hook(self, path: str, hook: object) -> None:
+        """Remove one write hook for ``path`` (idempotent)."""
+        hooks = self._write_hooks.get(path)
+        if not hooks:
+            return
+        self._write_hooks[path] = [h for h in hooks if h is not hook]
+        if not self._write_hooks[path]:
+            del self._write_hooks[path]
+
+    def dirty_chunk_indices(self, path: str, chunk_size: int) -> set[int]:
+        """Chunk indices of ``path`` covered by at least one dirty page.
+
+        Pure metadata (no events): used by incremental checkpoints to
+        find chunks whose store copy is behind the mapped view.
+        """
+        bucket = self._by_path.get(path)
+        if not bucket:
+            return set()
+        pages = self._pages
+        pages_per_chunk = max(1, chunk_size // self.page_size)
+        return {
+            page_idx // pages_per_chunk
+            for page_idx in bucket
+            if pages[(path, page_idx)].dirty
+        }
 
     def sync_path(self, path: str) -> Generator[Event, object, None]:
         """Dispatch :meth:`_sync_path_impl`, spanned when tracing is on."""

@@ -49,6 +49,29 @@ class FileMeta:
         return len(self.chunk_ids)
 
 
+@dataclass
+class EpochRecord:
+    """Manager-side commit record for one checkpoint epoch (paper §III-E).
+
+    ``parent`` is the newest epoch that was *committed* when this one
+    began — the fallback target when a crash truncates this epoch before
+    its commit record lands.  ``sections`` stores the checkpoint layout
+    ``(name, offset, length, linked)`` at commit time so a restarted
+    context (fresh caches, no client-side records) can restore from
+    manager metadata alone.  ``pins`` counts in-flight restores; a
+    pinned epoch is never garbage-collected.
+    """
+
+    tag: str
+    epoch: int
+    path: str
+    mode: str
+    parent: int | None
+    committed: bool = False
+    sections: tuple[tuple[str, int, int, bool], ...] = ()
+    pins: int = 0
+
+
 class Manager:
     """Aggregate-store coordinator, hosted on one cluster node.
 
@@ -96,6 +119,16 @@ class Manager:
         self._rereplication_inflight = 0
         self._rereplication_wakeup = None
         self._idle_waiters: list[Event] = []
+        # Chunks whose refcount hit zero while a re-replication fill was
+        # mid-flight: the physical free is deferred until the fill
+        # settles (value: whether the release was GC-attributed).
+        self._deferred_release: dict[int, bool] = {}
+        # Last-known replica names of each lost chunk, recorded at loss
+        # time so errors can report *where* the data used to live.
+        self._lost_replicas: dict[int, tuple[str, ...]] = {}
+        # Checkpoint epoch chains per tag: the manager-side commit
+        # records that crash-restart recovery resolves against.
+        self._epochs: dict[str, dict[int, EpochRecord]] = {}
 
     @property
     def name(self) -> str:
@@ -230,12 +263,25 @@ class Manager:
             replicas.remove(benefactor)
             benefactor.abort_fill(chunk_id)
             benefactor.unreserve(self.chunk_size)
+            if self._chunk_refs.get(chunk_id, 0) <= 0:
+                # Logically deleted already; its physical free was
+                # deferred behind an in-flight fill.  The crash resolved
+                # that race — finish the free unless another replica is
+                # still filling.
+                if not any(b.filling(chunk_id) for b in replicas):
+                    self._free_chunk(
+                        chunk_id, gc=self._deferred_release.get(chunk_id, False)
+                    )
+                continue
             survivors = [b for b in replicas if not b.crashed]
             if survivors:
                 self.metrics.add("store.manager.chunks_degraded")
                 self._degraded.append(chunk_id)
             else:
                 self._lost.add(chunk_id)
+                self._lost_replicas[chunk_id] = tuple(
+                    sorted({benefactor.name, *(b.name for b in replicas)})
+                )
                 self.metrics.add("store.manager.chunks_lost")
             self._bump_files(chunk_id)
         self.metrics.add("store.manager.benefactors_failed")
@@ -284,18 +330,24 @@ class Manager:
             return ()
         return tuple(sorted(set(meta.chunk_ids) & self._lost))
 
+    def lost_replicas(self, chunk_id: int) -> tuple[str, ...]:
+        """Last-known replica names of a lost chunk (empty if unknown)."""
+        return self._lost_replicas.get(chunk_id, ())
+
     def under_replicated(self) -> tuple[int, ...]:
         """Sorted ids of live chunks below the configured degree.
 
         Empty once background re-replication has fully restored
         redundancy (lost chunks are not *under*-replicated; they are
-        gone, see :meth:`lost_chunks`).
+        gone, see :meth:`lost_chunks`; chunks awaiting a deferred free
+        are logically deleted and not counted either).
         """
         return tuple(
             sorted(
                 chunk_id
                 for chunk_id, replicas in self._chunk_replicas.items()
                 if chunk_id not in self._lost
+                and self._chunk_refs.get(chunk_id, 0) > 0
                 and sum(1 for b in replicas if not b.crashed) < self.replication
             )
         )
@@ -362,7 +414,10 @@ class Manager:
         self, chunk_id: int
     ) -> Generator[Event, object, int]:
         """Restore one chunk's replication degree; returns 1 on success."""
-        if chunk_id in self._lost or chunk_id not in self._chunk_refs:
+        if chunk_id in self._lost or self._chunk_refs.get(chunk_id, 0) <= 0:
+            # Lost meanwhile, or deleted (refcount hit zero).  A deferred
+            # free whose fill already settled is finished here.
+            self._finish_deferred_release(chunk_id)
             return 0  # lost meanwhile, or deleted (refcount hit zero)
         replicas = self._chunk_replicas[chunk_id]
         live = [b for b in replicas if not b.crashed]
@@ -411,18 +466,40 @@ class Manager:
                     replicas.remove(target)
                 target.abort_fill(chunk_id)
                 target.unreserve(self.chunk_size)
+            if self._chunk_refs.get(chunk_id, 0) <= 0:
+                # Deleted while the copy was in flight: nothing left to
+                # repair; finish the deferred free now the fill settled.
+                self._finish_deferred_release(chunk_id)
+                return 0
             survivors = [b for b in replicas if not b.crashed]
             if survivors:
                 self._degraded.append(chunk_id)
             elif chunk_id not in self._lost:
                 self._lost.add(chunk_id)
+                self._lost_replicas[chunk_id] = tuple(
+                    sorted({b.name for b in replicas} | {source.name})
+                )
                 self.metrics.add("store.manager.chunks_lost")
                 self._bump_files(chunk_id)
+            return 0
+        if self._chunk_refs.get(chunk_id, 0) <= 0:
+            # Deleted during the copy: the fresh replica is moot — finish
+            # the deferred free (which drops the just-filled copy too).
+            self._finish_deferred_release(chunk_id)
             return 0
         self.metrics.add("store.manager.chunks_rereplicated")
         if data is not None:
             self.metrics.add("store.manager.rereplication_bytes", len(data))
         return 1
+
+    def _finish_deferred_release(self, chunk_id: int) -> None:
+        """Complete a deferred free once no fill is in flight for it."""
+        if chunk_id not in self._deferred_release:
+            return
+        replicas = self._chunk_replicas.get(chunk_id, ())
+        if any(b.filling(chunk_id) for b in replicas):
+            return
+        self._free_chunk(chunk_id, gc=self._deferred_release[chunk_id])
 
     def total_capacity(self) -> int:
         """Sum of all contributions in bytes."""
@@ -611,30 +688,60 @@ class Manager:
             )
         return list(replicas)
 
-    def delete_file(self, name: str) -> None:
-        """Drop a file; chunks are freed when their refcount reaches zero."""
+    def delete_file(self, name: str, *, gc: bool = False) -> int:
+        """Drop a file; chunks are freed when their refcount reaches zero.
+
+        Returns the physical bytes freed across replicas.  ``gc`` marks
+        the frees as garbage-collection work (counted in the
+        ``store.manager.gc_reclaimed_bytes`` metric, including frees
+        deferred behind an in-flight fill).
+        """
         meta = self.lookup(name)
+        freed = 0
         for chunk_id in meta.chunk_ids:
             files = self._chunk_files.get(chunk_id)
             if files is not None:
                 files.discard(name)
-            self._release_chunk(chunk_id)
+            freed += self._release_chunk(chunk_id, gc=gc)
         del self._files[name]
         self.metrics.add("store.manager.files_deleted")
+        return freed
 
-    def _release_chunk(self, chunk_id: int) -> None:
+    def _release_chunk(self, chunk_id: int, *, gc: bool = False) -> int:
         self._chunk_refs[chunk_id] -= 1
-        if self._chunk_refs[chunk_id] == 0:
-            replicas = self._chunk_replicas.pop(chunk_id)
-            del self._chunk_refs[chunk_id]
-            self._chunk_files.pop(chunk_id, None)
-            self._lost.discard(chunk_id)
-            for owner in replicas:
-                owner.delete_chunk(chunk_id)
-                owner.unreserve(self.chunk_size)
-                indexed = self._benefactor_chunks.get(owner.name)
-                if indexed is not None:
-                    indexed.discard(chunk_id)
+        if self._chunk_refs[chunk_id] > 0:
+            return 0
+        replicas = self._chunk_replicas.get(chunk_id, ())
+        if any(b.filling(chunk_id) for b in replicas):
+            # A re-replication copy is streaming into this chunk: freeing
+            # the data under the fill would strand ``complete_fill``.
+            # Defer the physical free; the repair path finishes it once
+            # the fill settles (GC never races repair).
+            self._deferred_release[chunk_id] = (
+                gc or self._deferred_release.get(chunk_id, False)
+            )
+            return 0
+        return self._free_chunk(chunk_id, gc=gc)
+
+    def _free_chunk(self, chunk_id: int, *, gc: bool = False) -> int:
+        """Physically free every replica of an unreferenced chunk."""
+        replicas = self._chunk_replicas.pop(chunk_id, [])
+        self._chunk_refs.pop(chunk_id, None)
+        self._chunk_files.pop(chunk_id, None)
+        self._lost.discard(chunk_id)
+        self._lost_replicas.pop(chunk_id, None)
+        self._deferred_release.pop(chunk_id, None)
+        freed = 0
+        for owner in replicas:
+            owner.delete_chunk(chunk_id)
+            owner.unreserve(self.chunk_size)
+            indexed = self._benefactor_chunks.get(owner.name)
+            if indexed is not None:
+                indexed.discard(chunk_id)
+            freed += self.chunk_size
+        if gc and freed:
+            self.metrics.add("store.manager.gc_reclaimed_bytes", freed)
+        return freed
 
     # ------------------------------------------------------------------
     # Checkpoint linking and copy-on-write (paper §III-E)
@@ -656,6 +763,38 @@ class Manager:
             dst.chunk_ids.append(chunk_id)
         dst.size += src.size
         self.metrics.add("store.manager.chunks_linked", src.num_chunks)
+
+    def link_chunk(self, dst_name: str, chunk_id: int, nbytes: int) -> int:
+        """Append one existing chunk to ``dst`` by reference.
+
+        The single-chunk sibling of :meth:`link_chunks`, used by
+        incremental/async checkpoints to interleave linked (clean) and
+        freshly reserved (dirty) chunks within one section.  Returns the
+        chunk-aligned byte offset the link landed at; ``nbytes`` is the
+        logical payload length within the chunk.
+        """
+        dst = self.lookup(dst_name)
+        if chunk_id not in self._chunk_refs:
+            raise ChunkNotFoundError(f"unknown chunk {chunk_id}")
+        if not 0 <= nbytes <= self.chunk_size:
+            raise StoreError(
+                f"link payload {nbytes} outside [0, {self.chunk_size}]"
+            )
+        offset = dst.num_chunks * self.chunk_size
+        self._chunk_refs[chunk_id] += 1
+        self._chunk_files.setdefault(chunk_id, set()).add(dst_name)
+        dst.chunk_ids.append(chunk_id)
+        dst.size = offset + nbytes
+        self.metrics.add("store.manager.chunks_linked")
+        return offset
+
+    def chunk_known(self, chunk_id: int) -> bool:
+        """True while ``chunk_id`` is live (referenced by some file).
+
+        Metadata-only; async checkpoints use it to validate that a prior
+        epoch's frozen chunks still exist before linking against them.
+        """
+        return chunk_id in self._chunk_refs
 
     def is_shared(self, name: str, index: int) -> bool:
         """True when chunk ``index`` of ``name`` is shared with another file."""
@@ -706,6 +845,206 @@ class Manager:
             self._degraded.append(new_id)
             self._wake_rereplicator()
         return old_id, new_id, replicas[0]
+
+    # ------------------------------------------------------------------
+    # Checkpoint epoch chains (paper §III-E; crash-restart recovery)
+    # ------------------------------------------------------------------
+    # All chain operations are pure metadata: callers piggyback them on
+    # control RPCs they already charge, so registering epochs adds no
+    # simulated events (the default checkpoint path stays event-identical
+    # to the pre-epoch behaviour).
+
+    def begin_epoch(
+        self, tag: str, epoch: int, path: str, *, mode: str = "incremental"
+    ) -> EpochRecord:
+        """Open an epoch: record it as in-flight (uncommitted).
+
+        ``parent`` is fixed to the newest epoch committed *now* — the
+        fallback target should a crash truncate this epoch.  A failed
+        earlier attempt at the same epoch may be re-begun; a committed
+        epoch may not.
+        """
+        chain = self._epochs.setdefault(tag, {})
+        existing = chain.get(epoch)
+        if existing is not None and existing.committed:
+            raise FileExistsInStoreError(
+                f"epoch {epoch} of checkpoint {tag!r} already committed"
+            )
+        record = EpochRecord(
+            tag=tag,
+            epoch=epoch,
+            path=path,
+            mode=mode,
+            parent=self.latest_committed_epoch(tag),
+        )
+        chain[epoch] = record
+        return record
+
+    def commit_epoch(
+        self,
+        tag: str,
+        epoch: int,
+        *,
+        sections: tuple[tuple[str, int, int, bool], ...],
+    ) -> EpochRecord:
+        """Seal an epoch: store its section layout and mark it complete.
+
+        Only committed epochs are restore targets; an epoch that never
+        commits (app or benefactor crash mid-checkpoint) is *truncated*
+        and restores fall back along its parent link.
+        """
+        record = self.epoch_record(tag, epoch)
+        record.sections = tuple(sections)
+        record.committed = True
+        self.metrics.add("checkpoint.epochs_committed")
+        return record
+
+    def epoch_record(self, tag: str, epoch: int) -> EpochRecord:
+        """The :class:`EpochRecord` for ``tag``/``epoch`` (raises
+        :class:`FileNotFoundInStoreError` when unknown)."""
+        try:
+            return self._epochs[tag][epoch]
+        except KeyError:
+            raise FileNotFoundInStoreError(
+                f"no epoch {epoch} of checkpoint {tag!r}"
+            ) from None
+
+    def has_epochs(self, tag: str) -> bool:
+        """True when any epoch (committed or not) is known for ``tag``."""
+        return bool(self._epochs.get(tag))
+
+    def committed_epochs(self, tag: str) -> tuple[int, ...]:
+        """Sorted committed epoch ids of ``tag`` (the live chain)."""
+        chain = self._epochs.get(tag, {})
+        return tuple(sorted(e for e, r in chain.items() if r.committed))
+
+    def latest_committed_epoch(self, tag: str) -> int | None:
+        """Newest committed epoch of ``tag``, or ``None``."""
+        committed = self.committed_epochs(tag)
+        return committed[-1] if committed else None
+
+    def chain_length(self, tag: str) -> int:
+        """Number of committed epochs currently live for ``tag``."""
+        return len(self.committed_epochs(tag))
+
+    def resolve_restore_epoch(self, tag: str, epoch: int | None = None) -> int | None:
+        """The epoch a restore of ``tag``/``epoch`` should read.
+
+        ``None`` requests the newest committed epoch.  A known but
+        uncommitted (crash-truncated) epoch falls back along parent
+        links to the newest complete ancestor.  Returns ``None`` when no
+        complete epoch exists; raises
+        :class:`FileNotFoundInStoreError` for an unknown tag or epoch.
+        """
+        chain = self._epochs.get(tag)
+        if not chain:
+            raise FileNotFoundInStoreError(f"no checkpoint {tag!r}")
+        if epoch is None:
+            return self.latest_committed_epoch(tag)
+        cursor = chain.get(epoch)
+        if cursor is None:
+            raise FileNotFoundInStoreError(
+                f"no epoch {epoch} of checkpoint {tag!r}"
+            )
+        while cursor is not None and not cursor.committed:
+            cursor = (
+                chain.get(cursor.parent) if cursor.parent is not None else None
+            )
+        return cursor.epoch if cursor is not None else None
+
+    def pin_epoch(self, tag: str, epoch: int) -> None:
+        """Hold an epoch against GC for the duration of a restore."""
+        self.epoch_record(tag, epoch).pins += 1
+
+    def unpin_epoch(self, tag: str, epoch: int) -> None:
+        """Release a restore's hold on an epoch."""
+        record = self.epoch_record(tag, epoch)
+        record.pins = max(0, record.pins - 1)
+
+    def epoch_pinned(self, tag: str, epoch: int) -> bool:
+        """True while at least one restore holds this epoch."""
+        record = self._epochs.get(tag, {}).get(epoch)
+        return record is not None and record.pins > 0
+
+    def gc_candidates(self, tag: str, *, keep_last: int = 1) -> tuple[int, ...]:
+        """Committed epochs of ``tag`` eligible for garbage collection.
+
+        Keeps the newest ``keep_last`` committed epochs, every pinned
+        epoch (a restore is reading it), and the fallback ancestor of
+        any in-flight uncommitted epoch (so a crash mid-checkpoint can
+        still restart bit-identically from its parent).
+        """
+        committed = self.committed_epochs(tag)
+        if keep_last > 0:
+            committed = committed[: max(0, len(committed) - keep_last)]
+        chain = self._epochs.get(tag, {})
+        shielded: set[int] = set()
+        for record in chain.values():
+            if record.committed:
+                continue
+            cursor = (
+                chain.get(record.parent) if record.parent is not None else None
+            )
+            while cursor is not None and not cursor.committed:
+                cursor = (
+                    chain.get(cursor.parent)
+                    if cursor.parent is not None
+                    else None
+                )
+            if cursor is not None:
+                shielded.add(cursor.epoch)
+        return tuple(
+            epoch
+            for epoch in committed
+            if epoch not in shielded and chain[epoch].pins == 0
+        )
+
+    def retire_epoch(self, tag: str, epoch: int) -> int:
+        """Garbage-collect one superseded epoch; returns bytes reclaimed.
+
+        Deletes the epoch's checkpoint file with GC-attributed frees
+        (chunks still referenced by newer epochs or the live variable
+        merely drop a refcount) and splices child parent links past the
+        retired epoch.  Refuses pinned or uncommitted epochs.
+        """
+        record = self.epoch_record(tag, epoch)
+        if not record.committed:
+            raise StoreError(
+                f"epoch {epoch} of checkpoint {tag!r} is not committed"
+            )
+        if record.pins:
+            raise StoreError(
+                f"epoch {epoch} of checkpoint {tag!r} is pinned by an "
+                f"in-flight restore"
+            )
+        freed = self.delete_file(record.path, gc=True)
+        chain = self._epochs[tag]
+        del chain[epoch]
+        for other in chain.values():
+            if other.parent == epoch:
+                other.parent = record.parent
+        if not chain:
+            del self._epochs[tag]
+        self.metrics.add("store.manager.epochs_retired")
+        return freed
+
+    def drop_epoch(self, tag: str, epoch: int) -> None:
+        """Forget epoch metadata without touching its file.
+
+        Used by explicit checkpoint deletion, where the caller unlinks
+        the file itself through the file system layer.
+        """
+        chain = self._epochs.get(tag)
+        if not chain:
+            return
+        record = chain.pop(epoch, None)
+        if record is None:
+            return
+        for other in chain.values():
+            if other.parent == epoch:
+                other.parent = record.parent
+        if not chain:
+            del self._epochs[tag]
 
     def __repr__(self) -> str:
         return (

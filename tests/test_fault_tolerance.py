@@ -278,7 +278,11 @@ class TestCheckpointUnderFaults:
 
         with pytest.raises(CheckpointError) as excinfo:
             run(engine, ckpt())
-        assert chunk_id in excinfo.value.lost_chunks
+        assert chunk_id in excinfo.value.lost_chunk_ids
+        (lost,) = excinfo.value.lost_chunks
+        assert lost.chunk_id == chunk_id
+        assert lost.epoch == 0
+        assert lost.replicas == (owner.name,)
 
     def test_degraded_but_readable_checkpoint_succeeds(
         self, engine, small_cluster, rstore
@@ -309,6 +313,135 @@ class TestCheckpointUnderFaults:
         assert dram == b"d"
         assert head == b"degraded but alive"
         assert record.bytes_linked == CHUNK_SIZE
+
+    def test_restore_after_crash_rides_failover(self, engine, small_cluster, rstore):
+        """r=2: a cold restart restores through the surviving replicas."""
+        from repro.core import NVMalloc
+        from repro.util.units import KiB
+
+        lib = NVMalloc(
+            small_cluster.node(1),
+            rstore,
+            fuse_cache_bytes=1 * MiB,
+            page_cache_bytes=512 * KiB,
+        )
+
+        def proc():
+            variable = yield from lib.ssdmalloc(2 * CHUNK_SIZE, owner="t")
+            yield from variable.write(0, b"survives the crash")
+            record = yield from lib.ssdcheckpoint("app", 0, b"d", [("v", variable)])
+            victim = rstore.chunk_replicas(
+                rstore.lookup(record.path).chunk_ids[-1]
+            )[0]
+            victim.crash()
+            yield from rstore.monitor(0.01, rounds=1)
+            # A restarted context: cold caches, no client-side records —
+            # restore resolves purely against the manager's commit chain.
+            restarted = NVMalloc(
+                small_cluster.node(2),
+                rstore,
+                fuse_cache_bytes=256 * KiB,
+                page_cache_bytes=256 * KiB,
+            )
+            dram, variables = yield from restarted.restore("app", 0)
+            return dram, variables["v"][:18]
+
+        dram, head = run(engine, proc())
+        assert dram == b"d"
+        assert head == b"survives the crash"
+        assert rstore.metrics.value("store.manager.benefactors_failed") >= 1
+
+    def test_r1_crash_restore_raises_typed_error(
+        self, engine, small_cluster, store, nvmalloc
+    ):
+        """r=1: losing the only replica fails restores with loss details."""
+        from repro.core import NVMalloc
+        from repro.errors import RestoreError
+        from repro.util.units import KiB
+
+        def proc():
+            variable = yield from nvmalloc.ssdmalloc(CHUNK_SIZE, owner="t")
+            yield from variable.write(0, b"doomed")
+            record = yield from nvmalloc.ssdcheckpoint(
+                "app", 0, b"d", [("v", variable)]
+            )
+            victims = {
+                b.name: b
+                for chunk_id in store.lookup(record.path).chunk_ids
+                for b in store.chunk_replicas(chunk_id)
+            }
+            for victim in victims.values():
+                victim.crash()
+                store.mark_offline(victim.name)
+            restarted = NVMalloc(
+                small_cluster.node(2),
+                store,
+                fuse_cache_bytes=256 * KiB,
+                page_cache_bytes=256 * KiB,
+            )
+            yield from restarted.restore("app", 0)
+
+        with pytest.raises(RestoreError) as excinfo:
+            run(engine, proc())
+        assert excinfo.value.epoch == 0
+        assert excinfo.value.lost_chunks
+        for lost in excinfo.value.lost_chunks:
+            assert lost.epoch == 0
+            assert lost.replicas  # names the replica set that held it
+
+    def test_gc_free_deferred_behind_inflight_repair(
+        self, engine, small_cluster, rstore
+    ):
+        """Chain GC of a chunk mid-re-replication defers the physical free
+        until the fill settles: GC never races repair."""
+        from repro.core import NVMalloc
+        from repro.util.units import KiB
+
+        lib = NVMalloc(
+            small_cluster.node(1),
+            rstore,
+            fuse_cache_bytes=1 * MiB,
+            page_cache_bytes=512 * KiB,
+        )
+        observed = {}
+
+        def proc():
+            variable = yield from lib.ssdmalloc(CHUNK_SIZE, owner="t")
+            yield from variable.write(0, b"repair me")
+            for step in range(2):
+                yield from lib.ssdcheckpoint(
+                    "app", step, b"d%d" % step, [("v", variable)], mode="full"
+                )
+            old = rstore.epoch_record("app", 0)
+            chunk_id = rstore.lookup(old.path).chunk_ids[-1]
+            rstore.chunk_replicas(chunk_id)[0].crash()
+            yield from rstore.monitor(0.01, rounds=1)
+            repair = engine.process(rstore.rereplicate_pending())
+            # The repair queue holds every chunk the crash degraded; poll
+            # until the fill of *our* chunk is in flight.
+            for _ in range(100_000):
+                if any(
+                    b.filling(chunk_id)
+                    for b in rstore.chunk_replicas(chunk_id)
+                ):
+                    break
+                yield engine.timeout(1e-6)
+            else:
+                raise AssertionError("fill never started")
+            reclaimed = yield from lib.gc_checkpoints("app", keep_last=1)
+            observed["deferred"] = chunk_id in rstore._deferred_release
+            observed["still_known"] = rstore.chunk_known(chunk_id)
+            yield repair
+            observed["reclaimed_then"] = reclaimed
+            observed["known_after"] = rstore.chunk_known(chunk_id)
+
+        run(engine, proc())
+        assert observed["deferred"] is True
+        assert observed["still_known"] is True  # data intact under the fill
+        assert observed["known_after"] is False  # freed once the fill settled
+        # The deferred free still counts as GC reclamation.
+        assert rstore.metrics.value("store.manager.gc_reclaimed_bytes") > 0
+        assert rstore.under_replicated() == ()
 
 
 class TestFaultPlan:
@@ -372,3 +505,36 @@ class TestFaultPlan:
 
         slow, fast = run(engine, proc())
         assert slow - fast == pytest.approx(0.25)
+
+
+class TestCrashInPhase:
+    NAMES = ["node000", "node001", "node002", "node003"]
+    WINDOWS = {"ckpt1": (10.0, 20.0), "restore": (30.0, 31.0)}
+
+    def test_events_land_inside_named_phase(self):
+        plan = FaultPlan.crash_in_phase(
+            7, self.NAMES, self.WINDOWS, "ckpt1", position=(0.5, 1.0)
+        )
+        assert len(plan.events) == 1
+        (event,) = plan.events
+        assert isinstance(event, BenefactorCrash)
+        assert 15.0 <= event.at <= 20.0  # narrowed to the back half
+
+    def test_deterministic_for_seed(self):
+        one = FaultPlan.crash_in_phase(42, self.NAMES, self.WINDOWS, "restore")
+        two = FaultPlan.crash_in_phase(42, self.NAMES, self.WINDOWS, "restore")
+        assert one == two
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(StoreError, match="unknown phase"):
+            FaultPlan.crash_in_phase(1, self.NAMES, self.WINDOWS, "ghost")
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(StoreError, match="inverted"):
+            FaultPlan.crash_in_phase(1, self.NAMES, {"p": (5.0, 4.0)}, "p")
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(StoreError):
+            FaultPlan.crash_in_phase(
+                1, self.NAMES, self.WINDOWS, "ckpt1", position=(0.9, 0.1)
+            )

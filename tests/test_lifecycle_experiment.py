@@ -1,0 +1,42 @@
+"""The checkpoint-lifecycle experiment: verified outcomes, digest stability.
+
+Marked ``lifecycle`` (excluded from the default tier-1 run, like
+``faults``): the ten legs each run a checkpoint loop with GC, crash
+injection, and cold restarts, so this file costs noticeably more wall
+time than the unit tests.  CI runs it in a dedicated job alongside a
+two-process PYTHONHASHSEED digest comparison.
+"""
+
+import pytest
+
+from repro.experiments import TINY, ckpt_lifecycle
+
+pytestmark = pytest.mark.lifecycle
+
+
+def test_lifecycle_report_verified_and_digest_stable():
+    first = ckpt_lifecycle(TINY)
+    assert first.verified
+
+    legs = {(row[0], row[1], row[2]): row for row in first.rows}
+    # Baseline chains: every mode commits, restores, and GC reclaims.
+    for mode in ("full", "incremental", "async"):
+        for r in (1, 2):
+            row = legs[(mode, r, "none")]
+            assert row[3] == "ok"
+
+    # Incremental and async chains write strictly less than full copies.
+    written = {(row[0], row[1]): row[6] for row in first.rows if row[2] == "none"}
+    for r in (1, 2):
+        assert written[("incremental", r)] < written[("full", r)]
+        assert written[("async", r)] < written[("full", r)]
+
+    # The r=1 mid-restore crash fails with the typed error, not a hang.
+    (restore_crash,) = [
+        row for row in first.rows if row[3] == "RestoreError"
+    ]
+    assert restore_crash[1] == 1
+
+    # Identical seed + identical FaultPlan => identical digest.
+    second = ckpt_lifecycle(TINY)
+    assert second.digest() == first.digest()

@@ -64,6 +64,40 @@ class TestRestoreFromPfs:
         with pytest.raises(CheckpointError):
             run(engine, scenario())
 
+    def test_pfs_copy_survives_store_data_loss(self, engine, lib, pfs, store):
+        """Crash-based loss (r=1): the store restore fails with a typed
+        RestoreError, but the drained PFS copy still recovers the bytes."""
+        from repro.errors import RestoreError
+
+        def scenario():
+            var = yield from lib.ssdmalloc(CHUNK_SIZE)
+            yield from var.write(0, b"only on the pfs")
+            record = yield from lib.ssdcheckpoint("dr", 1, b"STEP=1", [("v", var)])
+            yield from lib.drain_checkpoint_to_pfs("dr", 1, pfs)
+            # Lose every replica of the checkpoint's store copy.
+            victims = {
+                b.name: b
+                for chunk_id in store.lookup(record.path).chunk_ids
+                for b in store.chunk_replicas(chunk_id)
+            }
+            for victim in victims.values():
+                victim.crash()
+                store.mark_offline(victim.name)
+            lib.mount.cache.invalidate_path(record.path)
+            failed = None
+            try:
+                yield from lib.restore("dr", 1)
+            except RestoreError as error:
+                failed = error
+            dram, variables = yield from lib.restore_from_pfs("dr", 1, pfs)
+            return failed, dram, variables["v"][:15]
+
+        failed, dram, v = run(engine, scenario())
+        assert failed is not None and failed.epoch == 1
+        assert failed.lost_chunks
+        assert dram == b"STEP=1"
+        assert v == b"only on the pfs"
+
     def test_custom_source_name(self, engine, lib, pfs):
         def scenario():
             var = yield from lib.ssdmalloc(CHUNK_SIZE)
