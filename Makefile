@@ -1,6 +1,6 @@
 # Convenience targets for the NVMalloc reproduction.
 
-.PHONY: install test test-faults test-lifecycle test-obs test-cache cache-ablation bench bench-wallclock bench-floor bench-shards profile profile-layers trace experiments experiments-par examples clean
+.PHONY: install test test-faults test-lifecycle test-obs test-cache test-slo cache-ablation slo-curve bench bench-wallclock bench-floor bench-shards profile profile-layers trace experiments experiments-par examples clean
 
 install:
 	pip install -e .
@@ -61,6 +61,16 @@ test-cache:
 # Render the full lru-vs-arc / tier-on-off ablation grid.
 cache-ablation:
 	PYTHONPATH=src python -m repro.experiments cache_tiering
+
+# The open-loop traffic/SLO experiment suite (excluded from `make test`
+# by the "not slo" marker expression; CI runs it in a dedicated job).
+test-slo:
+	PYTHONPATH=src pytest -m slo
+
+# Render the load-latency curve, its knee, and the SLO-under-failure
+# verdicts at benchmark scale.
+slo-curve:
+	PYTHONPATH=src python -m repro.experiments slo_traffic
 
 # Trace the faults experiment on the virtual clock and export a Chrome
 # trace (open trace.json in chrome://tracing or https://ui.perfetto.dev).

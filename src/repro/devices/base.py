@@ -64,6 +64,28 @@ class StorageDevice:
         self._custom_pre_access = (
             type(self)._pre_access is not StorageDevice._pre_access
         )
+        # Transient service-rate degradation (fault injection): until the
+        # virtual clock passes the mark, every access's service time is
+        # multiplied by the factor.  0.0 means "never degraded" and keeps
+        # the hot path to one float compare.
+        self._degrade_until = 0.0
+        self._degrade_factor = 1.0
+
+    # ------------------------------------------------------------------
+    def degrade(self, until: float, factor: float) -> None:
+        """Degrade the device's service rate (fault-injection hook).
+
+        Until virtual time ``until``, every access takes ``factor`` times
+        its nominal service time — a device whose controller is busy
+        (background GC, thermal throttling) but still correct.  Distinct
+        from :meth:`~repro.store.benefactor.Benefactor.slow_down`'s flat
+        per-op surcharge: a rate factor scales *with* transfer size, so
+        large transfers hurt proportionally more.
+        """
+        if factor < 1.0:
+            raise DeviceError(f"{self.name}: degrade factor {factor} < 1")
+        self._degrade_until = until
+        self._degrade_factor = factor
 
     # ------------------------------------------------------------------
     def service_time(self, kind: AccessKind, nbytes: int) -> float:
@@ -92,6 +114,8 @@ class StorageDevice:
                 self._read_stats if kind is AccessKind.READ else self._write_stats
             )
             duration = time_fn(nbytes)
+            if self._degrade_until > self.engine._now:
+                duration *= self._degrade_factor
             bytes_counter.total += nbytes
             bytes_counter.count += 1
             time_counter.total += duration

@@ -115,6 +115,8 @@ class SSD(StorageDevice):
             # Same Counter objects the size-only write path uses.
             bytes_counter, time_counter, time_fn = self._write_stats
             duration = time_fn(nbytes) + gc_penalty
+            if self._degrade_until > self.engine._now:
+                duration *= self._degrade_factor
             bytes_counter.total += nbytes
             bytes_counter.count += 1
             time_counter.total += duration

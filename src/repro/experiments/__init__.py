@@ -27,6 +27,7 @@ from repro.experiments.lifecycle import ckpt_lifecycle
 from repro.experiments.parallel import Orchestrator, RunOutcome, check_identity
 from repro.experiments.resultcache import ResultCache
 from repro.experiments.scaleout import scaleout
+from repro.experiments.slo_traffic import slo_traffic
 
 __all__ = [
     "ExperimentReport",
@@ -50,6 +51,7 @@ __all__ = [
     "fig5",
     "fig6",
     "scaleout",
+    "slo_traffic",
     "table1",
     "table3",
     "table4",

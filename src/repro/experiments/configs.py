@@ -77,6 +77,19 @@ class ExperimentScale:
     lifecycle_timesteps: int = 4
     lifecycle_mutate_fraction: float = 0.25
     lifecycle_staging_chunks: int = 2
+    # Open-loop traffic / SLO experiment (repro.experiments.slo_traffic):
+    # client-population shape, request mix, and the offered-load sweep
+    # (defaulted so older scale literals stay valid).
+    slo_clients: int = 120
+    slo_requests_per_client: int = 4
+    slo_region_bytes: int = 2 * MiB
+    slo_num_keys: int = 256
+    slo_read_fraction: float = 0.7
+    slo_checkpoint_fraction: float = 0.05
+    slo_load_factors: tuple[float, ...] = (0.5, 0.8, 0.95)
+    slo_target_factor: float = 4.0
+    slo_workers: int = 8
+    slo_seed: int = 77
 
     def cpu_spec(self) -> CPUSpec:
         """The (possibly slowed) per-core CPU spec for this scale."""
@@ -144,6 +157,18 @@ SMALL = ExperimentScale(
     lifecycle_timesteps=4,
     lifecycle_mutate_fraction=0.25,
     lifecycle_staging_chunks=2,
+    # SLO traffic: a two-thousand-client swarm, heavy-tailed sizes over
+    # a 4 MiB/node shared region, 5% checkpoint-restore requests.
+    slo_clients=2000,
+    slo_requests_per_client=4,
+    slo_region_bytes=4 * MiB,
+    slo_num_keys=512,
+    slo_read_fraction=0.7,
+    slo_checkpoint_fraction=0.05,
+    slo_load_factors=(0.5, 0.8, 0.95),
+    slo_target_factor=4.0,
+    slo_workers=8,
+    slo_seed=77,
 )
 
 #: Test scale: small enough for the full grid to run in unit-test time.
@@ -178,4 +203,14 @@ TINY = ExperimentScale(
     lifecycle_timesteps=3,
     lifecycle_mutate_fraction=0.25,
     lifecycle_staging_chunks=2,
+    slo_clients=120,
+    slo_requests_per_client=4,
+    slo_region_bytes=2 * MiB,
+    slo_num_keys=256,
+    slo_read_fraction=0.7,
+    slo_checkpoint_fraction=0.05,
+    slo_load_factors=(0.5, 0.8, 0.95),
+    slo_target_factor=4.0,
+    slo_workers=8,
+    slo_seed=77,
 )

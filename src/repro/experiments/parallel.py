@@ -37,6 +37,7 @@ from repro.experiments.report import ExperimentReport
 from repro.experiments.resultcache import ResultCache, code_fingerprint, result_key
 from repro.experiments.runner import Testbed, track_testbeds
 from repro.experiments.scaleout import scaleout
+from repro.experiments.slo_traffic import slo_traffic
 from repro.experiments.tables import (
     checkpoint_experiment,
     table1,
@@ -75,6 +76,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentReport], str]] = {
     "ckpt_lifecycle": (
         ckpt_lifecycle,
         "Checkpoint chains, async drain, crash-restart recovery",
+    ),
+    "slo_traffic": (
+        slo_traffic,
+        "Open-loop load-latency curve, knee, and SLO under failure",
     ),
 }
 

@@ -18,6 +18,35 @@ REPORT_SCHEMA = 1
 #: this many prefetches were issued; issued/hit counts are still shown.
 MIN_PREFETCH_SAMPLES = 8
 
+#: Same guard for rate-style cells (requests/s, SLO attainment): a TINY
+#: leg that issued a handful of requests would otherwise print a rate
+#: extrapolated from near-zero virtual seconds or an attainment that is
+#: 0%/100% by coin flip.  Below this many samples the cells render the
+#: raw counts instead of a rate.
+MIN_RATE_SAMPLES = 8
+
+
+def rate_cell(count: float, seconds: float, *, samples: int | None = None) -> str:
+    """A requests/s table cell with zero-sample and low-sample guards.
+
+    ``samples`` defaults to ``count``; when it is below
+    :data:`MIN_RATE_SAMPLES` (or the window is empty) the cell shows the
+    raw count so tiny legs never print extrapolated-rate noise.
+    """
+    n = int(count if samples is None else samples)
+    if n < MIN_RATE_SAMPLES or seconds <= 0:
+        return f"n={int(count)}"
+    return f"{count / seconds:.1f}"
+
+
+def attainment_cell(within: int, issued: int) -> str:
+    """An SLO-attainment (%) table cell with the same low-sample guard."""
+    if issued <= 0:
+        return "-"
+    if issued < MIN_RATE_SAMPLES:
+        return f"{within}/{issued}"
+    return f"{100.0 * within / issued:.1f}"
+
 
 @dataclass
 class ExperimentReport:

@@ -47,12 +47,21 @@ class TransientSlowdown:
     From ``at`` until ``at + duration`` every data-path operation on the
     benefactor is charged an extra ``extra_per_op`` seconds — a contended
     or thermally throttled node that is slow but correct.
+
+    ``rate_factor`` additionally degrades the benefactor's *SSD service
+    rate* for the window: every device access takes ``rate_factor`` times
+    its nominal service time (see
+    :meth:`repro.devices.base.StorageDevice.degrade`), so the penalty
+    scales with transfer size instead of being a flat per-op surcharge.
+    The default of 1.0 leaves the device untouched — existing plans and
+    their experiment digests are bit-identical.
     """
 
     at: float
     benefactor: str
     duration: float
     extra_per_op: float
+    rate_factor: float = 1.0
 
 
 FaultEvent = BenefactorCrash | TransientSlowdown
@@ -80,6 +89,7 @@ class FaultPlan:
         window: tuple[float, float] = (0.25, 1.0),
         slow_duration: float = 0.25,
         slow_extra: float = 0.002,
+        slow_rate_factor: float = 1.0,
     ) -> "FaultPlan":
         """Derive a plan from a seed: crash victims without replacement,
         event times uniform in ``window`` (virtual seconds).
@@ -111,6 +121,7 @@ class FaultPlan:
                     benefactor=names[int(rng.integers(0, len(names)))],
                     duration=slow_duration,
                     extra_per_op=slow_extra,
+                    rate_factor=slow_rate_factor,
                 )
             )
         return cls(events=tuple(events), seed=seed)
@@ -176,10 +187,13 @@ class FaultPlan:
             if isinstance(event, BenefactorCrash):
                 parts.append(f"crash {event.benefactor}@{event.at:.3f}s")
             else:
-                parts.append(
+                label = (
                     f"slow {event.benefactor}@{event.at:.3f}s"
                     f"+{event.duration:.3f}s"
                 )
+                if event.rate_factor != 1.0:
+                    label += f"x{event.rate_factor:g}"
+                parts.append(label)
         return ", ".join(parts) if parts else "none"
 
     def inject(self, manager: Manager) -> Generator[Event, object, None]:
@@ -204,6 +218,10 @@ class FaultPlan:
                 benefactor.slow_down(
                     engine.now + event.duration, event.extra_per_op
                 )
+                if event.rate_factor != 1.0:
+                    benefactor.ssd.degrade(
+                        engine.now + event.duration, event.rate_factor
+                    )
 
 
 __all__ = [

@@ -16,7 +16,9 @@ import typing
 
 from repro.obs.critical import CriticalPath, critical_path
 from repro.obs.export import (
+    LATENCY_SCHEMA,
     chrome_trace,
+    latency_json,
     latency_lines,
     latency_summary,
     span_tree,
@@ -93,6 +95,7 @@ def report_lines(label: str, tracer: Tracer) -> list[str]:
 
 __all__ = [
     "CriticalPath",
+    "LATENCY_SCHEMA",
     "Span",
     "Tracer",
     "chrome_trace",
@@ -102,6 +105,7 @@ __all__ = [
     "critical_path",
     "enable",
     "enabled",
+    "latency_json",
     "latency_lines",
     "latency_summary",
     "new_tracer_if_enabled",

@@ -1,0 +1,61 @@
+"""Open-loop traffic generation against the aggregate store.
+
+Every other workload in the repo is a *closed-loop* batch kernel: the
+next request is issued only after the previous one completes, so the
+offered load self-throttles to whatever the store can serve and queueing
+delay is invisible.  This package generates *open-loop* traffic — a
+seeded arrival process decides when each request is issued, regardless
+of whether earlier requests finished — which is the only way to measure
+what the north star demands: sustained request service from a large
+client population against a latency SLO, where queueing delay (and its
+tail) is the primary metric rather than makespan.
+
+- :mod:`repro.traffic.arrivals` — deterministic arrival processes
+  (Poisson, bursty MMPP on-off, deterministic rate) and heavy-tailed
+  object-size / key-popularity samplers, all driven off
+  ``np.random.default_rng`` so schedules are bit-identical across hash
+  seeds and orchestrators;
+- :mod:`repro.traffic.clients` — a swarm of lightweight simulated
+  clients issuing read/write/checkpoint-restore requests into the
+  existing mmap → page-cache → chunk-cache → store stack at their
+  scheduled virtual arrival times (via ``Engine.schedule_batch``);
+- :mod:`repro.traffic.slo` — per-request virtual-latency accounting:
+  p50/p95/p99/p99.9, goodput-vs-SLO verdicts, and windowed tail stats
+  for "p99 during the crash" attribution.
+"""
+
+from repro.traffic.arrivals import (
+    DeterministicProcess,
+    MMPPProcess,
+    ParetoSizes,
+    PoissonProcess,
+    RequestSchedule,
+    ZipfKeys,
+    build_schedule,
+)
+from repro.traffic.clients import ClientSwarm, SwarmConfig, SwarmResult
+from repro.traffic.slo import (
+    OP_NAMES,
+    RequestRecord,
+    SloSummary,
+    summarize,
+    window_summary,
+)
+
+__all__ = [
+    "ClientSwarm",
+    "DeterministicProcess",
+    "MMPPProcess",
+    "OP_NAMES",
+    "ParetoSizes",
+    "PoissonProcess",
+    "RequestRecord",
+    "RequestSchedule",
+    "SloSummary",
+    "SwarmConfig",
+    "SwarmResult",
+    "ZipfKeys",
+    "build_schedule",
+    "summarize",
+    "window_summary",
+]

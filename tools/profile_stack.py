@@ -54,6 +54,7 @@ from repro import obs  # noqa: E402
 from repro.experiments.configs import SMALL, TINY  # noqa: E402
 from repro.experiments.runner import track_testbeds  # noqa: E402
 from repro.obs.critical import critical_path  # noqa: E402
+from repro.obs.export import latency_json  # noqa: E402
 
 LAYERS_SCHEMA = 1
 
@@ -108,12 +109,12 @@ def _layers_workload(name: str, scale) -> dict[str, object]:
         obs.enable(was_enabled)
     rollup: dict[str, dict[str, float]] = {}
     critical: dict[str, float] = {}
-    span_count = 0
+    all_spans = []
     for testbed in tracker.testbeds:
         tracer = getattr(testbed.engine, "tracer", None)
         if tracer is None or not tracer.spans:
             continue
-        span_count += len(tracer.spans)
+        all_spans.extend(tracer.spans)
         _merge_rollups(rollup, _layer_rollup(tracer.spans))
         try:
             for layer, seconds in critical_path(
@@ -126,9 +127,10 @@ def _layers_workload(name: str, scale) -> dict[str, object]:
         "wall_seconds": wall,
         "virtual_seconds": outcome["virtual_seconds"],
         "verified": outcome.get("verified", False),
-        "spans": span_count,
+        "spans": len(all_spans),
         "layers": rollup,
         "critical": critical,
+        "latency": latency_json(all_spans),
     }
 
 
